@@ -1,0 +1,29 @@
+"""Fig. 6 — impact of resynthesis on the run-time of KRATT.
+
+Re-synthesizes the locked c6288 stand-in under different efforts and
+delay constraints and measures KRATT's run-time per variant, reporting
+the mean / standard deviation / max-min ratio the paper quotes
+(SFLT variants resolve via QBF with small spread; DFLT variants carry
+the structural-analysis cost and a larger spread).
+"""
+
+from conftest import emit
+from repro.experiments import fig6_rows, format_table
+
+
+def test_fig6_resynthesis_impact(benchmark, results_dir):
+    header = rows = None
+
+    def run():
+        nonlocal header, rows
+        header, rows = fig6_rows(variants=6, qbf_time_limit=2.0)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(results_dir, "fig6",
+         format_table("Fig. 6: KRATT run-time across resynthesized c6288 variants",
+                      header, rows))
+
+    variant_rows = [r for r in rows if r[1] != "mean/std/ratio"]
+    ok = sum(1 for r in variant_rows if r[5] == "yes")
+    assert ok >= len(variant_rows) * 0.8, f"most variants must break ({ok})"

@@ -1,0 +1,26 @@
+"""Table V — HeLLO: CTF'22 circuits (SFLL) under OL and OG attacks.
+
+Expected shape (paper): SCOPE deciphers nothing; KRATT-OL deciphers a
+large fraction of key inputs; the SAT attack is slow or OoT; KRATT-OG
+recovers the secret key of every circuit faster than the SAT attack.
+"""
+
+from conftest import emit
+from repro.experiments import format_table, table5_rows
+
+
+def test_table5_hello_ctf(benchmark, results_dir):
+    header = rows = None
+
+    def run():
+        nonlocal header, rows
+        header, rows = table5_rows(baseline_time_limit=6.0, qbf_time_limit=2.0)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(results_dir, "table5",
+         format_table("Table V: HeLLO: CTF'22 SFLL circuits", header, rows))
+
+    assert len(rows) == 3
+    og_ok = sum(1 for row in rows if row[10] == "yes")
+    assert og_ok >= 2, f"KRATT-OG should break the HeLLO circuits ({og_ok}/3)"

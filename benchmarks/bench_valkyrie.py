@@ -1,0 +1,27 @@
+"""Valkyrie-style census (Section IV, second experiment set).
+
+The paper sweeps 720 locked circuits from the Valkyrie repository and
+reports that the QBF formulation broke the SFLTs while structural
+analysis broke the DFLTs.  This bench reproduces the census at
+reproduction scale over hosts x techniques x synthesis seeds.
+"""
+
+from conftest import emit
+from repro.experiments import format_table, valkyrie_rows
+
+
+def test_valkyrie_census(benchmark, results_dir):
+    header = rows = None
+
+    def run():
+        nonlocal header, rows
+        header, rows = valkyrie_rows(qbf_time_limit=2.0)
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(results_dir, "valkyrie",
+         format_table("Valkyrie-style census", header, rows))
+
+    body = [r for r in rows if r[0] != "TOTAL"]
+    functional = sum(1 for r in body if r[4] == "yes")
+    assert functional >= len(body) * 0.8, f"{functional}/{len(body)}"

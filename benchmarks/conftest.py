@@ -1,0 +1,30 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to the ``tiny`` reproduction scale so the whole
+harness completes on a laptop; set ``REPRO_SCALE=small`` or
+``REPRO_SCALE=paper`` for larger runs.  Each benchmark writes its
+paper-style table to ``benchmarks/results/`` and prints it (visible with
+``pytest -s``).
+"""
+
+import os
+import pathlib
+
+import pytest
+
+os.environ.setdefault("REPRO_SCALE", "tiny")
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir, name, text):
+    """Print a table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Oracle-guided KRATT against TTLock (paper Section III-C walkthrough).
+
+Demonstrates the DFLT pipeline step by step: removal finds the restore
+comparator, the QBF instances are unsatisfiable, classification confirms
+a comparator restore unit, structural analysis pulls promising protected
+patterns out of the functionality stripped circuit, and the exhaustive
+search identifies the secret key with a handful of oracle queries —
+where the classic SAT attack needs one query per wrong key.
+
+Run:  python examples/og_attack_ttlock.py
+"""
+
+from repro.attacks import Oracle, kratt_og_attack, sat_attack, score_key
+from repro.attacks.kratt import (
+    candidate_pattern_sets,
+    classify_restore_unit,
+    extract_unit,
+    locked_subcircuit,
+    qbf_key_search,
+)
+from repro.benchgen import array_multiplier
+from repro.locking import format_key, lock_ttlock
+from repro.synth import dead_code_eliminate, propagate_constants, resynthesize
+
+
+def main():
+    host = array_multiplier(8, 8)
+    locked = lock_ttlock(host, key_width=14, seed=11)
+    netlist = resynthesize(locked.circuit, seed=5, effort=2)
+    print(f"TTLock, {locked.key_width} keys, {netlist.num_gates} gates after synthesis")
+
+    # Step 1: removal.
+    extraction = extract_unit(netlist, locked.key_inputs)
+    print(f"step 1  critical signal: {extraction.critical_signal!r}, "
+          f"unit={extraction.unit.num_gates} gates, "
+          f"{len(extraction.protected_inputs)} PPIs")
+
+    # Step 2: both QBF instances are UNSAT for a restore unit.
+    outcome = qbf_key_search(extraction, time_limit=3)
+    print(f"step 2  QBF outcome: {outcome.status} (restore units admit no constant key)")
+
+    # Step 3: classification + locked subcircuit.
+    cls = classify_restore_unit(extraction)
+    print(f"step 3  restore unit classified as {cls.kind!r} (h={cls.h})")
+    sub = locked_subcircuit(extraction.usc, extraction.critical_signal)
+    fsc, _ = propagate_constants(sub, {extraction.critical_signal: bool(cls.off_value)})
+    fsc, _ = dead_code_eliminate(fsc)
+
+    # Step 6: structural analysis.
+    candidates = candidate_pattern_sets(fsc, extraction.protected_inputs)
+    specified = sum(1 for v in candidates[0].values() if v is not None)
+    print(f"step 6  {len(candidates)} candidate PPI sets; "
+          f"most specified covers {specified} PPIs")
+
+    # Steps 1-3 + 6-7 packaged: the full OG flow.
+    oracle = Oracle(locked.original)
+    result = kratt_og_attack(netlist, locked.key_inputs, oracle, qbf_time_limit=3)
+    score = score_key(locked, result.key)
+    print(f"step 7  key found: {format_key(result.key, locked.key_inputs)} "
+          f"({result.oracle_queries} oracle queries, {result.elapsed:.2f}s)")
+    assert score.exact_match
+
+    # Baseline comparison: SAT attack needs ~2^14 DIPs; give it a moment.
+    oracle = Oracle(locked.original)
+    baseline = sat_attack(netlist, locked.key_inputs, oracle, time_limit=5)
+    verdict = "OoT" if baseline.timed_out else f"{baseline.elapsed:.2f}s"
+    print(f"\nSAT attack on the same instance: {verdict} "
+          f"after {baseline.iterations} DIPs — KRATT wins by structure, not search.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Quickstart: lock a multiplier with SARLock, break it with KRATT's QBF step.
+
+This is the smallest end-to-end tour of the library:
+
+1. generate a host circuit (a real array multiplier, c6288-style);
+2. lock it with SARLock at 16 key inputs;
+3. resynthesize the locked netlist (what a foundry adversary would see);
+4. run KRATT oracle-less: the removal step extracts the locking unit and
+   the QBF formulation returns the unique constant-making key;
+5. verify the recovered key formally.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.attacks import kratt_ol_attack, score_key
+from repro.benchgen import array_multiplier
+from repro.locking import format_key, lock_sarlock
+from repro.synth import resynthesize
+
+
+def main():
+    host = array_multiplier(8, 8)
+    print(f"host: {host.name} ({len(host.inputs)} inputs, {host.num_gates} gates)")
+
+    locked = lock_sarlock(host, key_width=16, seed=7)
+    print(f"locked with SARLock: {locked.key_width} key inputs")
+    print(f"secret key (ground truth): {format_key(locked.correct_key, locked.key_inputs)}")
+
+    netlist = resynthesize(locked.circuit, seed=3, effort=2)
+    print(f"resynthesized: {netlist.num_gates} gates, locking structure dissolved")
+
+    result = kratt_ol_attack(netlist, locked.key_inputs, qbf_time_limit=10)
+    print(f"\nKRATT finished in {result.elapsed:.2f}s via method={result.details['method']}")
+    print(f"recovered key:             {format_key(result.key, locked.key_inputs)}")
+
+    score = score_key(locked, result.key)
+    print(f"score: {score.cdk}/{score.dk} correct, exact={score.exact_match}, "
+          f"functional={score.functional}")
+    assert score.exact_match, "QBF witness should be the unique SARLock key"
+    print("\nOK: the QBF formulation recovered the exact secret key, no oracle needed.")
+
+
+if __name__ == "__main__":
+    main()

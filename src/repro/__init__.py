@@ -1,0 +1,52 @@
+"""KRATT reproduction: QBF-assisted removal and structural analysis attack
+against logic locking (Aksoy, Yasin, Pagliarini - DATE 2024).
+
+Subpackages
+-----------
+``repro.netlist``
+    Gate-level netlist substrate: circuits, BENCH I/O, bit-parallel
+    simulation, cone analysis, SAT-miter equivalence checking.
+``repro.sat`` / ``repro.qbf``
+    Pure-Python CDCL SAT solver and CEGAR 2QBF solver (the stand-ins for
+    cryptominisat and DepQBF).
+``repro.locking``
+    SFLTs (SARLock, Anti-SAT, CAS-Lock, Gen-Anti-SAT), DFLTs (TTLock,
+    CAC, SFLL-HD), and an XOR-lock baseline.
+``repro.synth``
+    Constant propagation, function-preserving rewrites, and the seeded
+    resynthesis driver (the Cadence Genus stand-in).
+``repro.attacks``
+    KRATT itself plus the published baselines: the SAT attack, Double
+    DIP, AppSAT, and SCOPE.
+``repro.benchgen``
+    Size-matched ISCAS'85 / ITC'99 / HeLLO: CTF'22 benchmark stand-ins.
+``repro.experiments``
+    Row builders regenerating every table and figure of the paper.
+
+Quickstart
+----------
+>>> from repro.benchgen import array_multiplier
+>>> from repro.locking import lock_sarlock
+>>> from repro.attacks import kratt_ol_attack, score_key
+>>> host = array_multiplier(8, 8)
+>>> locked = lock_sarlock(host, 16, seed=1)
+>>> result = kratt_ol_attack(locked.circuit, locked.key_inputs)
+>>> score_key(locked, result.key).exact_match
+True
+"""
+
+__version__ = "1.0.0"
+
+from . import attacks, benchgen, experiments, locking, netlist, qbf, sat, synth
+
+__all__ = [
+    "netlist",
+    "sat",
+    "qbf",
+    "locking",
+    "synth",
+    "attacks",
+    "benchgen",
+    "experiments",
+    "__version__",
+]

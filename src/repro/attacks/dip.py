@@ -1,0 +1,126 @@
+"""Distinguishing-input machinery shared by the oracle-guided baselines.
+
+The SAT attack [3] and its descendants all revolve around one object: a
+*miter* over two key copies of the locked netlist that share the primary
+inputs.  A satisfying assignment is a distinguishing input pattern (DIP):
+an input on which two keys that agree with all observations so far still
+produce different outputs.  Each oracle query then pins both key copies
+to the observed behaviour, shrinking the surviving key space.
+"""
+
+from __future__ import annotations
+
+from ..sat.solver import Solver
+from ..sat.tseitin import encode_into_solver
+
+__all__ = ["DipEngine"]
+
+
+class DipEngine:
+    """Incremental two-copy miter over a locked netlist.
+
+    Parameters
+    ----------
+    circuit:
+        The locked netlist (a :class:`~repro.netlist.circuit.Circuit`
+        including key inputs).
+    key_inputs:
+        Names of the key inputs inside ``circuit``.
+    """
+
+    def __init__(self, circuit, key_inputs):
+        self.circuit = circuit
+        self.key_inputs = list(key_inputs)
+        key_set = set(self.key_inputs)
+        self.data_inputs = [s for s in circuit.inputs if s not in key_set]
+
+        self.solver = Solver()
+        self.x_vars = {s: self.solver.new_var() for s in self.data_inputs}
+        self.k1_vars = {s: self.solver.new_var() for s in self.key_inputs}
+        self.k2_vars = {s: self.solver.new_var() for s in self.key_inputs}
+
+        shared1 = dict(self.x_vars)
+        shared1.update(self.k1_vars)
+        shared2 = dict(self.x_vars)
+        shared2.update(self.k2_vars)
+        map1 = encode_into_solver(self.solver, circuit, shared1, suffix="#m1")
+        map2 = encode_into_solver(self.solver, circuit, shared2, suffix="#m2")
+
+        # diff <-> outputs differ somewhere; asserted by assumption only,
+        # so the same solver answers both "find DIP" and "find key".
+        diff_bits = []
+        for out in circuit.outputs:
+            d = self.solver.new_var()
+            a, b = map1[out], map2[out]
+            # d = a XOR b
+            self.solver.add_clause([-a, -b, -d])
+            self.solver.add_clause([a, b, -d])
+            self.solver.add_clause([a, -b, d])
+            self.solver.add_clause([-a, b, d])
+            diff_bits.append(d)
+        self.diff_var = self.solver.new_var()
+        self.solver.add_clause([-self.diff_var] + diff_bits)
+        for d in diff_bits:
+            self.solver.add_clause([-d, self.diff_var])
+
+        self._copy_count = 0
+
+    def find_dip(self, time_limit=None, max_conflicts=None, extra_assumptions=()):
+        """Search for a DIP.
+
+        Returns ``(status, x_assignment)``: status True with the input
+        pattern, False when no DIP exists (key space settled), or None on
+        budget exhaustion.
+        """
+        status = self.solver.solve(
+            [self.diff_var, *extra_assumptions],
+            time_limit=time_limit,
+            max_conflicts=max_conflicts,
+        )
+        if status is not True:
+            return status, None
+        model = self.solver.model()
+        x = {s: model.get(v, False) for s, v in self.x_vars.items()}
+        return True, x
+
+    def add_io_constraint(self, x, y):
+        """Pin both key copies to the oracle observation ``y`` at input ``x``.
+
+        Adds two fresh circuit copies with inputs fixed to ``x`` whose
+        outputs are forced to the observed values.
+        """
+        self._copy_count += 1
+        fix = {s: bool(x[s]) for s in self.data_inputs}
+        for kvars, tag in ((self.k1_vars, "a"), (self.k2_vars, "b")):
+            shared = dict(kvars)
+            varmap = encode_into_solver(
+                self.solver,
+                self.circuit,
+                shared,
+                fix=fix,
+                suffix=f"#io{self._copy_count}{tag}",
+            )
+            for out in self.circuit.outputs:
+                lit = varmap[out]
+                self.solver.add_clause([lit if y[out] else -lit])
+
+    def extract_key(self, time_limit=None, max_conflicts=None):
+        """Any key consistent with all observations (after UNSAT miter)."""
+        status = self.solver.solve(
+            time_limit=time_limit, max_conflicts=max_conflicts
+        )
+        if status is not True:
+            return None
+        model = self.solver.model()
+        return {s: model.get(v, False) for s, v in self.k1_vars.items()}
+
+    def key_candidate(self):
+        """Current candidate key (used by AppSAT between rounds)."""
+        return self.extract_key()
+
+    def forbid_key(self, key):
+        """Block one key assignment from copy 1 (used in tests/diagnostics)."""
+        clause = [
+            -v if key[s] else v for s, v in self.k1_vars.items()
+        ]
+        self.solver.add_clause(clause)

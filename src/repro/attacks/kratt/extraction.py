@@ -1,0 +1,193 @@
+"""KRATT step 3: logic extraction and restore-unit classification.
+
+After the QBF step fails (DFLT case), the paper extracts the *locked
+subcircuit*: the logic cones of the primary outputs that the critical
+signal reaches inside the unit stripped circuit.  KRATT also verifies the
+removed unit "realizes a comparator logic or its complement" to confirm
+it is a DFLT restore unit; this module generalizes that check to the
+SFLL-HD family by probing which Hamming distance fires the unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...netlist.blocks import add_popcount, add_equals_const
+from ...netlist.circuit import Circuit
+from ...netlist.cone import reachable_outputs, transitive_fanin
+from ...netlist.gate import GateType
+from ...netlist.simulate import pack_patterns
+from ...netlist.verify import check_equivalent
+from ...sat.solver import Solver
+from ...sat.tseitin import encode_into_solver
+from .removal import unit_off_value
+
+__all__ = [
+    "locked_subcircuit",
+    "RestoreClassification",
+    "classify_restore_unit",
+    "build_hd_reference",
+]
+
+
+def locked_subcircuit(usc, critical_signal, name=None):
+    """Cones of the USC outputs reached by the critical signal.
+
+    Returns a standalone circuit whose outputs are the locked primary
+    outputs and whose inputs are their combined support (including the
+    promoted critical signal).
+    """
+    reached = reachable_outputs(usc, critical_signal)
+    if not reached:
+        raise ValueError(
+            f"critical signal {critical_signal!r} reaches no primary output"
+        )
+    cone = transitive_fanin(usc, reached)
+    sub = Circuit(name or f"{usc.name}_locked_sub")
+    for sig in usc.inputs:
+        if sig in cone:
+            sub.add_input(sig)
+    for sig in cone:
+        gate = usc.gate(sig)
+        if not gate.is_input:
+            sub._gates[sig] = gate
+    sub._invalidate()
+    sub.set_outputs(reached)
+    sub.validate()
+    return sub
+
+
+@dataclass
+class RestoreClassification:
+    """What kind of restore unit the removal step carved out.
+
+    ``kind`` is ``"comparator"`` (fires on PPI == K: TTLock, CAC),
+    ``"hamming"`` (fires at HD(PPI, K) == h: SFLL-HD, with ``h`` set),
+    or ``"unknown"``.  ``off_value`` is the unit's resting output value,
+    which also fixes the critical signal's polarity in the USC.
+    """
+
+    kind: str
+    off_value: int
+    h: int = None
+    verified: bool = False
+
+
+def _pairing(extraction):
+    """(ppi, key) pairs in PPI order using the first associated key."""
+    pairs = []
+    for ppi in extraction.protected_inputs:
+        keys = extraction.key_of_ppi.get(ppi, ())
+        if keys:
+            pairs.append((ppi, keys[0]))
+    return pairs
+
+
+def build_hd_reference(ppis, keys, h, fire_value=1, name="hd_ref"):
+    """Reference circuit: output ``fire_value`` iff HD(ppis, keys) == h."""
+    ref = Circuit(name)
+    for sig in list(ppis) + list(keys):
+        ref.add_input(sig)
+    diffs = []
+    for i, (p, k) in enumerate(zip(ppis, keys)):
+        ref.add_gate(f"hd_d{i}", GateType.XOR, (p, k))
+        diffs.append(f"hd_d{i}")
+    count = add_popcount(ref, "hd_pc", diffs)
+    eq = add_equals_const(ref, "hd_eq", count, h)
+    out = "hd_out"
+    ref.add_gate(out, GateType.BUF if fire_value else GateType.NOT, (eq,))
+    ref.set_outputs([out])
+    ref.validate()
+    return ref
+
+
+def _fires_when_aligned(extraction, off_value, max_conflicts=50_000):
+    """SAT check: does the unit always fire when PPI == K (paired bits)?"""
+    unit = extraction.unit
+    solver = Solver()
+    varmap = encode_into_solver(solver, unit, {}, suffix="#cls")
+    for ppi, key in _pairing(extraction):
+        a, b = varmap[ppi], varmap[key]
+        solver.add_clause([-a, b])
+        solver.add_clause([a, -b])
+    out = varmap[extraction.critical_signal]
+    # Satisfiable with unit == off while aligned => does NOT always fire.
+    off_literal = out if off_value == 1 else -out
+    status = solver.solve([off_literal], max_conflicts=max_conflicts)
+    if status is False:
+        return True
+    if status is True:
+        return False
+    return None
+
+
+def _hd_firing_profile(extraction, samples=24, rng=None):
+    """Firing fraction of the unit at each controlled Hamming distance."""
+    import random as _random
+
+    rng = rng or _random.Random(20177)
+    unit = extraction.unit
+    pairs = _pairing(extraction)
+    n = len(pairs)
+    cs1 = extraction.critical_signal
+    others = [s for s in unit.inputs if s not in {p for p, _ in pairs}
+              and s not in {k for _, k in pairs}]
+    profile = {}
+    for d in range(n + 1):
+        patterns = []
+        for _ in range(samples):
+            key_bits = {k: rng.getrandbits(1) for _, k in pairs}
+            flip = set(rng.sample(range(n), d))
+            pattern = dict(key_bits)
+            for i, (ppi, key) in enumerate(pairs):
+                pattern[ppi] = key_bits[key] ^ (1 if i in flip else 0)
+            for s in others:
+                pattern[s] = rng.getrandbits(1)
+            patterns.append(pattern)
+        words, mask = pack_patterns(list(unit.inputs), patterns)
+        word = unit.evaluate(words, mask, outputs_only=True)[cs1]
+        profile[d] = bin(word).count("1") / samples
+    return profile
+
+
+def classify_restore_unit(extraction, max_conflicts=50_000, verify=True):
+    """Classify the extracted unit as a DFLT restore unit.
+
+    Implements the paper's comparator check ("KRATT checks if the
+    locking/restore unit realizes a comparator logic or its complement
+    ... using a SAT formulation") and extends it to Hamming-distance
+    restore units so the HeLLO: CTF SFLL circuits classify too.
+    """
+    off = unit_off_value(extraction.unit, extraction.critical_signal)
+
+    aligned = _fires_when_aligned(extraction, off, max_conflicts)
+    if aligned is True:
+        return RestoreClassification(kind="comparator", off_value=off, h=0,
+                                     verified=True)
+
+    pairs = _pairing(extraction)
+    if pairs:
+        profile = _hd_firing_profile(extraction)
+        candidates = [d for d, frac in profile.items() if frac >= 0.95]
+        if len(candidates) == 1:
+            h = candidates[0]
+            verified = False
+            if verify:
+                ppis = [p for p, _ in pairs]
+                keys = [k for _, k in pairs]
+                ref = build_hd_reference(ppis, keys, h, fire_value=1 - off)
+                unit_view = extraction.unit.copy()
+                unit_view.set_outputs([extraction.critical_signal])
+                if set(unit_view.inputs) == set(ref.inputs):
+                    # Align the reference's output name with the unit's.
+                    ref_aligned = ref.renamed(
+                        {ref.outputs[0]: extraction.critical_signal}
+                    )
+                    verdict, _ = check_equivalent(
+                        unit_view, ref_aligned, max_conflicts=max_conflicts
+                    )
+                    verified = verdict is True
+            return RestoreClassification(
+                kind="hamming", off_value=off, h=h, verified=verified
+            )
+    return RestoreClassification(kind="unknown", off_value=off)

@@ -1,0 +1,70 @@
+"""KRATT step 4: circuit modification for the oracle-less attack.
+
+Section III-B of the paper.  KRATT never runs SCOPE on the raw locked
+netlist; it first reshapes the problem so SCOPE's per-bit probing has a
+systematic signal to read:
+
+* **SFLT units** (Anti-SAT family): the protected primary inputs are
+  pinned to constants — "these inputs are not relevant to the
+  complementary/non-complementary functions" — leaving a key-only unit
+  where the correct key value collapses the critical signal to a
+  constant.  SCOPE then runs with the ``collapse`` rule.
+* **DFLT locked subcircuits**: each protected primary input is replaced
+  by its associated key input — "the information on the values of the
+  protected primary input ... is inside the locked subcircuit" — because
+  the functionality stripped circuit embeds the protected pattern as an
+  implicant over PPIs.  SCOPE then runs with the ``preserve`` rule: the
+  correct key value keeps that implicant logic alive, the wrong value
+  dissolves it.
+"""
+
+from __future__ import annotations
+
+from ...synth.constprop import dead_code_eliminate, propagate_constants
+from .extraction import locked_subcircuit
+
+__all__ = ["modified_locking_unit", "modified_dflt_subcircuit"]
+
+
+def modified_locking_unit(extraction, pin_value=0):
+    """Pin every PPI of the locking unit to a constant; fold; return unit.
+
+    The result is a circuit over key inputs only, ready for SCOPE with
+    ``rule="collapse"``.
+    """
+    pins = {ppi: bool(pin_value) for ppi in extraction.protected_inputs}
+    unit, _ = propagate_constants(extraction.unit, pins)
+    unit, _ = dead_code_eliminate(unit)
+    unit.name = f"{extraction.unit.name}_mod"
+    return unit
+
+
+def modified_dflt_subcircuit(extraction, off_value=None):
+    """Build the PPI-to-key substituted locked subcircuit of a DFLT.
+
+    The critical signal input is pinned to its resting (restore-off)
+    value so the subcircuit computes the functionality stripped circuit;
+    every protected primary input is renamed to its first associated key
+    input.  Returns ``(circuit, key_inputs_present)`` ready for SCOPE
+    with ``rule="preserve"``.
+    """
+    from .removal import unit_off_value
+
+    if off_value is None:
+        off_value = unit_off_value(extraction.unit, extraction.critical_signal)
+
+    sub = locked_subcircuit(extraction.usc, extraction.critical_signal)
+    if extraction.critical_signal in sub.inputs:
+        sub, _ = propagate_constants(
+            sub, {extraction.critical_signal: bool(off_value)}
+        )
+        sub, _ = dead_code_eliminate(sub)
+
+    rename = {}
+    for ppi in extraction.protected_inputs:
+        keys = extraction.key_of_ppi.get(ppi, ())
+        if keys and ppi in sub:
+            rename[ppi] = keys[0]
+    modified = sub.renamed(rename, name=f"{sub.name}_ppi2key")
+    present = tuple(k for k in rename.values() if k in modified)
+    return modified, present

@@ -1,0 +1,202 @@
+"""KRATT step 1: logic removal — locate and extract the locking/restore unit.
+
+Following Section III-A of the paper:
+
+1. The *critical signal* ``cs1`` is the output of the first gate in the
+   paths from key inputs to primary outputs through which **all** key
+   inputs pass.  We enumerate signals reached by every key input in
+   ascending logic level and accept the first whose cone removal actually
+   strips every key input from the netlist (a dominator check — plain
+   common reachability can be fooled by resynthesized sharing).
+2. The fan-in cone of ``cs1`` is the locking/restore *unit*; removing it
+   and promoting ``cs1`` to a primary input yields the *unit stripped
+   circuit* (USC).  Logic shared between the two is duplicated, exactly
+   as the paper prescribes.
+3. Each protected primary input is paired with its associated key
+   input(s) by walking the unit's gates (two keys per PPI in the
+   Anti-SAT family, one otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...netlist.cone import extract_cone, remove_cone, transitive_fanout
+from ...netlist.gate import GateType
+from ...netlist.simulate import random_patterns
+
+__all__ = [
+    "UnitExtraction",
+    "find_critical_signal",
+    "extract_unit",
+    "associate_ppi_keys",
+    "unit_off_value",
+]
+
+
+@dataclass
+class UnitExtraction:
+    """Everything the removal step produces.
+
+    Attributes
+    ----------
+    critical_signal: name of ``cs1``.
+    unit: the locking/restore unit as a standalone circuit
+        (inputs: PPIs + key inputs; single output ``cs1``).
+    usc: the unit stripped circuit (``cs1`` promoted to an input).
+    protected_inputs: PPI names (unit inputs that are not keys).
+    key_inputs: key inputs found in the unit.
+    key_of_ppi: association map ppi -> tuple of key inputs.
+    """
+
+    critical_signal: str
+    unit: object
+    usc: object
+    protected_inputs: tuple
+    key_inputs: tuple
+    key_of_ppi: dict = field(default_factory=dict)
+
+    @property
+    def keys_per_ppi(self):
+        """Median number of keys associated per PPI (1 or 2 in practice)."""
+        counts = sorted(len(v) for v in self.key_of_ppi.values())
+        return counts[len(counts) // 2] if counts else 0
+
+
+def find_critical_signal(circuit, key_inputs, max_candidates=512):
+    """Locate ``cs1``: the earliest gate all key inputs pass through.
+
+    Returns the signal name, or ``None`` when no single gate channels all
+    keys (not a single-unit locked circuit).
+    """
+    key_inputs = [k for k in key_inputs if k in circuit]
+    if not key_inputs:
+        return None
+
+    common = None
+    for key in key_inputs:
+        reach = transitive_fanout(circuit, [key], include_sources=False)
+        common = reach if common is None else (common & reach)
+        if not common:
+            return None
+
+    levels = circuit.levels()
+    candidates = sorted(common, key=lambda s: (levels[s], s))
+    key_set = set(key_inputs)
+    outputs = set(circuit.outputs)
+
+    for candidate in candidates[:max_candidates]:
+        if circuit.gate(candidate).is_input:
+            continue
+        # Dominator check: with the candidate's cone cut out, no key input
+        # may still reach a primary output.
+        try:
+            usc = remove_cone(circuit, candidate)
+        except Exception:
+            continue
+        still_reaching = transitive_fanout(usc, list(key_set & set(usc.signals)))
+        if not (still_reaching & outputs):
+            return candidate
+    return None
+
+
+def extract_unit(circuit, key_inputs, critical_signal=None):
+    """Run the full removal step; returns a :class:`UnitExtraction`.
+
+    Raises ``ValueError`` when no critical signal can be identified.
+    """
+    cs1 = critical_signal or find_critical_signal(circuit, key_inputs)
+    if cs1 is None:
+        raise ValueError("no critical signal: not a single-unit locked netlist")
+    unit = extract_cone(circuit, cs1, name=f"{circuit.name}_unit")
+    usc = remove_cone(circuit, cs1)
+    key_set = set(key_inputs)
+    unit_keys = tuple(s for s in unit.inputs if s in key_set)
+    ppis = tuple(s for s in unit.inputs if s not in key_set)
+    association = associate_ppi_keys(unit, ppis, unit_keys)
+    return UnitExtraction(
+        critical_signal=cs1,
+        unit=unit,
+        usc=usc,
+        protected_inputs=ppis,
+        key_inputs=unit_keys,
+        key_of_ppi=association,
+    )
+
+
+def _resolve_source(circuit, signal, sources, limit=8):
+    """Follow NOT/BUF chains from ``signal`` down to a source in ``sources``."""
+    current = signal
+    for _ in range(limit):
+        if current in sources:
+            return current
+        gate = circuit.gate(current)
+        if gate.gtype in (GateType.NOT, GateType.BUF) and gate.fanins:
+            current = gate.fanins[0]
+            continue
+        return None
+    return None
+
+
+def associate_ppi_keys(unit, ppis, keys, max_keys_per_ppi=2):
+    """Pair each protected primary input with its associated key input(s).
+
+    Implements the paper's rule — "for each protected primary input, find
+    a logic gate whose inputs are ``ppi_j``, its associated key input, or
+    their complements" — robustly against resynthesis by resolving each
+    gate fanin through inverter/buffer chains and voting over all gates
+    that mix exactly one PPI with one key.
+    """
+    ppi_set = set(ppis)
+    key_set = set(keys)
+    votes = {ppi: {} for ppi in ppis}
+    for gate in unit.gates():
+        if len(gate.fanins) != 2:
+            continue
+        a = _resolve_source(unit, gate.fanins[0], ppi_set | key_set)
+        b = _resolve_source(unit, gate.fanins[1], ppi_set | key_set)
+        if a is None or b is None:
+            continue
+        pair = None
+        if a in ppi_set and b in key_set:
+            pair = (a, b)
+        elif b in ppi_set and a in key_set:
+            pair = (b, a)
+        if pair is None:
+            continue
+        ppi, key = pair
+        votes[ppi][key] = votes[ppi].get(key, 0) + 1
+
+    association = {}
+    claimed = set()
+    for ppi in ppis:
+        ranked = sorted(votes[ppi].items(), key=lambda kv: (-kv[1], kv[0]))
+        chosen = tuple(k for k, _ in ranked[:max_keys_per_ppi])
+        association[ppi] = chosen
+        claimed.update(chosen)
+
+    # Keys never claimed: pair them round-robin so downstream steps always
+    # have a total map (accuracy of extras only affects guess ordering).
+    unclaimed = [k for k in keys if k not in claimed]
+    if unclaimed and ppis:
+        for i, key in enumerate(unclaimed):
+            ppi = ppis[i % len(ppis)]
+            association[ppi] = tuple(association[ppi]) + (key,)
+    return association
+
+
+def unit_off_value(unit, output=None, patterns=64, rng=None):
+    """The unit's resting value: its output on random (PPI, key) inputs.
+
+    Point-function units fire on a vanishing fraction of the input space,
+    so the majority value over random patterns identifies the polarity of
+    ``cs1`` even after resynthesis inverted it.
+    """
+    output = output or unit.outputs[0]
+    if not unit.inputs:
+        word = unit.evaluate({}, 1, outputs_only=True)[output]
+        return word & 1
+    words, mask = random_patterns(list(unit.inputs), patterns, rng)
+    word = unit.evaluate(words, mask, outputs_only=True)[output]
+    ones = bin(word).count("1")
+    return 1 if ones * 2 > patterns else 0

@@ -1,0 +1,107 @@
+"""KRATT step 6: structural analysis of the locked subcircuit.
+
+Section III-C of the paper.  Inside the functionality stripped circuit
+the perturb unit survives as logic cones whose support consists solely of
+protected primary inputs (the hardwired comparator against the protected
+pattern).  KRATT:
+
+1. finds every maximal logic cone supported only by PPIs;
+2. for each cone output ``lco_i``, SAT-solves ``lco_i = 0`` and
+   ``lco_i = 1`` to obtain *promising* PPI value sets (a maxterm and a
+   minterm of the cone), leaving PPIs outside the cone's support
+   unspecified (``X``);
+3. augments the sets with single-PPI patterns (one input pinned, all
+   others ``X``) when not already present;
+4. sorts all sets by the number of unspecified values, most-specified
+   first — the order the oracle exploration consumes them.
+"""
+
+from __future__ import annotations
+
+from ...netlist.cone import cones_with_support_within, extract_cone
+from ...sat.solver import Solver
+from ...sat.tseitin import encode_into_solver
+
+__all__ = ["candidate_pattern_sets", "enumerate_cone_patterns"]
+
+
+def enumerate_cone_patterns(subcircuit, root, value, ppis, limit=4):
+    """Up to ``limit`` assignments of the cone's PPIs with root == value.
+
+    Each returned dict assigns 0/1 to the PPIs in the cone's support and
+    ``None`` (X) to every other PPI.  Solutions are enumerated with
+    blocking clauses over the support variables.
+    """
+    cone = extract_cone(subcircuit, root)
+    support = [s for s in cone.inputs if s in set(ppis)]
+    if not support:
+        return []
+    solver = Solver()
+    varmap = encode_into_solver(solver, cone, {}, suffix="#lco")
+    target = varmap[root]
+    solver.add_clause([target if value else -target])
+    patterns = []
+    while len(patterns) < limit:
+        status = solver.solve(max_conflicts=100_000)
+        if status is not True:
+            break
+        model = solver.model()
+        assignment = {ppi: None for ppi in ppis}
+        blocking = []
+        for sig in support:
+            bit = 1 if model.get(varmap[sig], False) else 0
+            assignment[sig] = bit
+            blocking.append(-varmap[sig] if bit else varmap[sig])
+        patterns.append(assignment)
+        solver.add_clause(blocking)
+    return patterns
+
+
+def candidate_pattern_sets(subcircuit, ppis, per_cone_limit=2, min_support=2,
+                           max_cones=None):
+    """The ordered list of promising PPI value sets (paper step 6).
+
+    Considers every PPI-supported cone, nested ones included (the paper's
+    ``lco1``/``lco2`` in Fig. 5c), widest support first, capped at
+    ``max_cones``.  Returns a list of dicts mapping each PPI to 0/1/None,
+    sorted by the number of unspecified entries ascending (most-specified
+    first), with duplicates removed and single-PPI augmentation applied.
+    """
+    from ...netlist.cone import support as cone_support
+
+    ppis = list(ppis)
+    roots = cones_with_support_within(
+        subcircuit, ppis, min_support=min_support, maximal_only=False
+    )
+    roots.sort(key=lambda r: -len(cone_support(subcircuit, r)))
+    if max_cones is None:
+        max_cones = max(16, 6 * len(ppis))
+    roots = roots[:max_cones]
+    candidates = []
+    seen = set()
+
+    def push(assignment):
+        key = tuple(assignment.get(p) for p in ppis)
+        if key not in seen:
+            seen.add(key)
+            candidates.append(assignment)
+
+    for root in roots:
+        for value in (0, 1):
+            for pattern in enumerate_cone_patterns(
+                subcircuit, root, value, ppis, limit=per_cone_limit
+            ):
+                push(pattern)
+
+    # Single-PPI augmentation: cover each input pinned alone, both ways.
+    for ppi in ppis:
+        for value in (0, 1):
+            assignment = {p: None for p in ppis}
+            assignment[ppi] = value
+            push(assignment)
+
+    def unspecified(assignment):
+        return sum(1 for p in ppis if assignment.get(p) is None)
+
+    candidates.sort(key=unspecified)
+    return candidates

@@ -1,0 +1,81 @@
+"""The oracle: a functional IC the adversary can query.
+
+Under the oracle-guided (OG) threat model the attacker owns an unlocked
+chip bought on the open market: inputs can be applied and outputs
+observed, but nothing internal is visible.  :class:`Oracle` enforces that
+discipline — attack code receives only this object, never the original
+netlist — and counts queries so experiments can report query budgets.
+"""
+
+from __future__ import annotations
+
+from ..netlist.simulate import pack_patterns
+
+__all__ = ["Oracle"]
+
+
+class Oracle:
+    """Query interface over the original circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The original (unlocked) netlist.  Held privately.
+    """
+
+    def __init__(self, circuit):
+        self._circuit = circuit
+        self.query_count = 0
+
+    @property
+    def input_names(self):
+        """Input pins of the functional IC (no key inputs, of course)."""
+        return self._circuit.inputs
+
+    @property
+    def output_names(self):
+        return self._circuit.outputs
+
+    def query(self, assignment, defaults=0):
+        """Apply one input pattern; returns dict output -> 0/1.
+
+        ``assignment`` may be partial; unassigned pins take ``defaults``
+        (KRATT drives non-protected inputs to logic 0, matching the
+        paper's exhaustive-search step).
+        """
+        full = {name: defaults for name in self._circuit.inputs}
+        full.update({k: int(bool(v)) for k, v in assignment.items()})
+        self.query_count += 1
+        out = self._circuit.evaluate(full, 1, outputs_only=True)
+        return {name: out[name] & 1 for name in self._circuit.outputs}
+
+    def query_batch(self, patterns, defaults=0):
+        """Apply many patterns in one bit-parallel pass.
+
+        ``patterns`` is a sequence of (possibly partial) assignments;
+        returns a list of output dicts, one per pattern.  Counts as
+        ``len(patterns)`` queries.
+        """
+        names = list(self._circuit.inputs)
+        filled = []
+        for pattern in patterns:
+            full = {name: defaults for name in names}
+            full.update({k: int(bool(v)) for k, v in pattern.items()})
+            filled.append(full)
+        if not filled:
+            return []
+        words, mask = pack_patterns(names, filled)
+        self.query_count += len(filled)
+        out_words = self._circuit.evaluate(words, mask, outputs_only=True)
+        results = []
+        for j in range(len(filled)):
+            results.append(
+                {o: (out_words[o] >> j) & 1 for o in self._circuit.outputs}
+            )
+        return results
+
+    def reset_count(self):
+        self.query_count = 0
+
+    def __repr__(self):
+        return f"Oracle(inputs={len(self.input_names)}, queries={self.query_count})"

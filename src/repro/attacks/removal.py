@@ -1,0 +1,227 @@
+"""Removal attack and original-circuit reconstruction.
+
+Two capabilities built on KRATT's removal machinery:
+
+* :func:`removal_attack` — the classic removal attack of Yasin et al.
+  (paper reference [25]): locate the SFLT locking unit, cut it out, and
+  pin the critical signal to its resting value.  For an SFLT this *is*
+  the original circuit (no key needed) — which is exactly why the paper
+  argues key recovery is the more valuable goal and why DFLTs were
+  invented: on a DFLT the same surgery leaves the functionality stripped
+  circuit, wrong on the protected pattern(s).
+* :func:`reconstruct_original` — the paper's Section V construction for
+  locks whose restore unit is hidden in read-proof hardware (SFLL-Flex,
+  row-activated LUT): recover the protected patterns with the structural
+  analysis + oracle loop, then repair the FSC by XOR-ing back a
+  comparator for every recovered pattern.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..locking.base import insert_output_flip
+from ..netlist.cone import reachable_outputs
+from ..synth.constprop import dead_code_eliminate, propagate_constants
+from .kratt.extraction import classify_restore_unit, locked_subcircuit
+from .kratt.removal import extract_unit, unit_off_value
+from .kratt.structural import candidate_pattern_sets
+
+__all__ = ["RemovalResult", "removal_attack", "reconstruct_original"]
+
+
+@dataclass
+class RemovalResult:
+    """Outcome of a removal-style attack.
+
+    ``circuit`` is the recovered netlist (key-free).  For SFLTs it is
+    functionally the original; for DFLTs it is the FSC unless
+    reconstruction was requested and succeeded.
+    """
+
+    circuit: object = None
+    success: bool = False
+    critical_signal: str = ""
+    off_value: int = 0
+    elapsed: float = 0.0
+    protected_patterns: list = field(default_factory=list)
+    details: dict = field(default_factory=dict)
+
+
+def removal_attack(circuit, key_inputs, technique_hint=None):
+    """Cut out the locking unit and pin the critical signal (ref [25]).
+
+    Returns a :class:`RemovalResult` whose ``circuit`` has the original
+    primary inputs (key inputs become dangling) and, for SFLTs, the
+    original functionality.  No oracle is used.
+    """
+    start = time.monotonic()
+    extraction = extract_unit(circuit, key_inputs)
+    off = unit_off_value(extraction.unit, extraction.critical_signal)
+    stripped, _ = propagate_constants(
+        extraction.usc, {extraction.critical_signal: bool(off)}
+    )
+    stripped, _ = dead_code_eliminate(stripped)
+    # Drop now-dangling key inputs from the interface.
+    for key in key_inputs:
+        if key in stripped.inputs:
+            stripped.remove_gate(key)
+    stripped.name = f"{circuit.name}_unlocked"
+    stripped.validate()
+    return RemovalResult(
+        circuit=stripped,
+        success=True,
+        critical_signal=extraction.critical_signal,
+        off_value=off,
+        elapsed=time.monotonic() - start,
+        details={"technique_hint": technique_hint},
+    )
+
+
+def _collect_protected_patterns(
+    oracle, fsc, candidates, ppis, pattern_budget, time_limit, start,
+    batch_size=256,
+):
+    """Scan candidate completions; return PPI patterns where FSC != oracle."""
+    from ..netlist.simulate import pack_patterns
+    from .kratt.exhaustive import _completions
+
+    data_inputs = list(fsc.inputs)
+    found = []
+    seen = set()
+    produced = 0
+    pending = []
+
+    def flush(batch):
+        if not batch:
+            return
+        full = [{s: p.get(s, 0) for s in data_inputs} for p in batch]
+        words, mask = pack_patterns(data_inputs, full)
+        fsc_out = fsc.evaluate(words, mask, outputs_only=True)
+        oracle_out = oracle.query_batch(full)
+        for j, ppi_values in enumerate(batch):
+            mismatch = any(
+                ((fsc_out[o] >> j) & 1) != oracle_out[j][o] for o in fsc.outputs
+            )
+            if mismatch:
+                key = tuple(ppi_values[p] for p in ppis)
+                if key not in seen:
+                    seen.add(key)
+                    found.append({p: ppi_values[p] for p in ppis})
+
+    for assignment in candidates:
+        if produced >= pattern_budget:
+            break
+        if time_limit is not None and time.monotonic() - start > time_limit:
+            break
+        for full in _completions(assignment, ppis, cap=pattern_budget - produced):
+            pending.append(full)
+            produced += 1
+            if len(pending) >= batch_size:
+                flush(pending)
+                pending = []
+    flush(pending)
+    return found
+
+
+def reconstruct_original(
+    circuit,
+    key_inputs,
+    oracle,
+    pattern_budget=1 << 14,
+    time_limit=None,
+):
+    """Rebuild the original circuit of a DFLT without its restore key.
+
+    Paper Section V: for SFLL-Flex / row-activated-LUT style locks the
+    restore unit is unreachable (read-proof hardware), so no key can be
+    recovered — but the structural analysis still finds every protected
+    primary input pattern, and "the original circuit can be constructed
+    after adding these values into the FSC using a comparator and XOR
+    logic".  This function performs that construction and verifies the
+    result against the oracle by sampling.
+
+    Returns a :class:`RemovalResult` whose ``circuit`` is the repaired
+    netlist.
+    """
+    start = time.monotonic()
+    extraction = extract_unit(circuit, key_inputs)
+    classification = classify_restore_unit(extraction)
+    off = classification.off_value
+
+    sub = locked_subcircuit(extraction.usc, extraction.critical_signal)
+    fsc_view, _ = propagate_constants(sub, {extraction.critical_signal: bool(off)})
+    fsc_view, _ = dead_code_eliminate(fsc_view)
+    candidates = candidate_pattern_sets(fsc_view, extraction.protected_inputs)
+
+    # Collect every protected pattern by comparing the FSC (restore pinned
+    # off) against the oracle — with the restore unit hidden in read-proof
+    # hardware there is no key to apply, so the FSC itself is the
+    # adversary's best functional model and every mismatch marks a
+    # protected pattern.
+    ppis = list(extraction.protected_inputs)
+    patterns = _collect_protected_patterns(
+        oracle, fsc_view, candidates, ppis, pattern_budget, time_limit, start
+    )
+    if not patterns:
+        return RemovalResult(
+            circuit=None,
+            success=False,
+            critical_signal=extraction.critical_signal,
+            off_value=off,
+            elapsed=time.monotonic() - start,
+            details={"error": "no protected patterns found"},
+        )
+
+    # FSC with the restore pinned off, then XOR back one comparator per
+    # recovered protected pattern on each locked output.
+    repaired, _ = propagate_constants(
+        extraction.usc, {extraction.critical_signal: bool(off)}
+    )
+    repaired, _ = dead_code_eliminate(repaired)
+    for key in key_inputs:
+        if key in repaired.inputs:
+            repaired.remove_gate(key)
+
+    locked_outputs = reachable_outputs(
+        extraction.usc, extraction.critical_signal
+    )
+    from ..locking.pointfunc import add_hardwired_comparator
+
+    for idx, pattern in enumerate(patterns):
+        constants = [bool(pattern[p]) for p in ppis]
+        root = add_hardwired_comparator(
+            repaired, f"rec{idx}", ppis, constants
+        )
+        for out in locked_outputs:
+            if out in repaired.outputs:
+                insert_output_flip(repaired, out, root)
+    repaired.name = f"{circuit.name}_reconstructed"
+    repaired.validate()
+
+    # Sample-verify against the oracle (random + protected patterns).
+    import random as _random
+
+    rng = _random.Random(97)
+    probes = [dict(p) for p in patterns]
+    for _ in range(128):
+        probes.append({s: rng.getrandbits(1) for s in repaired.inputs})
+    observed = oracle.query_batch(probes)
+    verified = True
+    for probe, y in zip(probes, observed):
+        full = {s: probe.get(s, 0) for s in repaired.inputs}
+        got = repaired.evaluate(full, 1, outputs_only=True)
+        if any(got[o] != y[o] for o in repaired.outputs):
+            verified = False
+            break
+
+    return RemovalResult(
+        circuit=repaired,
+        success=verified,
+        critical_signal=extraction.critical_signal,
+        off_value=off,
+        elapsed=time.monotonic() - start,
+        protected_patterns=patterns,
+        details={"classification": classification.kind, "verified": verified},
+    )

@@ -1,0 +1,107 @@
+"""The oracle-guided SAT attack (Subramanyan, Ray, Malik — HOST 2015).
+
+Paper reference [3]: the milestone attack that broke every pre-2015
+locking scheme.  It repeatedly finds distinguishing input patterns
+(DIPs), queries the oracle, and constrains the key space until no DIP
+remains; any surviving key is then functionally correct.
+
+Against the SAT-resilient schemes KRATT targets, every DIP eliminates a
+constant number of keys, so the loop needs exponentially many iterations
+— the attack times out (the ``OoT`` entries of Table III).
+"""
+
+from __future__ import annotations
+
+import time
+
+from .dip import DipEngine
+from .metrics import AttackResult
+
+__all__ = ["sat_attack"]
+
+
+def sat_attack(
+    circuit,
+    key_inputs,
+    oracle,
+    time_limit=60.0,
+    max_iterations=None,
+    technique="?",
+):
+    """Run the SAT attack.
+
+    Parameters
+    ----------
+    circuit:
+        Locked netlist (with key inputs).
+    key_inputs:
+        Key-input names.
+    oracle:
+        :class:`~repro.attacks.oracle.Oracle` over the functional IC.
+    time_limit:
+        Wall-clock budget in seconds; exceeding it reports a time-out,
+        reproducing the paper's OoT entries at laptop scale.
+
+    Returns an :class:`AttackResult`; ``result.key`` is complete on
+    success.
+    """
+    start = time.monotonic()
+    engine = DipEngine(circuit, key_inputs)
+    iterations = 0
+    queries_before = oracle.query_count
+
+    def remaining():
+        return None if time_limit is None else time_limit - (time.monotonic() - start)
+
+    while True:
+        budget = remaining()
+        if budget is not None and budget <= 0:
+            return AttackResult(
+                attack="sat",
+                technique=technique,
+                circuit=circuit.name,
+                timed_out=True,
+                iterations=iterations,
+                elapsed=time.monotonic() - start,
+                oracle_queries=oracle.query_count - queries_before,
+            )
+        if max_iterations is not None and iterations >= max_iterations:
+            return AttackResult(
+                attack="sat",
+                technique=technique,
+                circuit=circuit.name,
+                timed_out=True,
+                iterations=iterations,
+                elapsed=time.monotonic() - start,
+                oracle_queries=oracle.query_count - queries_before,
+                details={"reason": "iteration limit"},
+            )
+        status, x = engine.find_dip(time_limit=budget)
+        if status is None:
+            return AttackResult(
+                attack="sat",
+                technique=technique,
+                circuit=circuit.name,
+                timed_out=True,
+                iterations=iterations,
+                elapsed=time.monotonic() - start,
+                oracle_queries=oracle.query_count - queries_before,
+            )
+        if status is False:
+            break
+        iterations += 1
+        y = oracle.query(x)
+        engine.add_io_constraint(x, y)
+
+    key = engine.extract_key(time_limit=remaining())
+    return AttackResult(
+        attack="sat",
+        technique=technique,
+        circuit=circuit.name,
+        key=key or {},
+        success=key is not None,
+        timed_out=key is None,
+        iterations=iterations,
+        elapsed=time.monotonic() - start,
+        oracle_queries=oracle.query_count - queries_before,
+    )

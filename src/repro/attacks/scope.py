@@ -1,0 +1,148 @@
+"""SCOPE: synthesis-based constant propagation attack (Alaql, Rahman,
+Bhunia — TVLSI 2021).
+
+Paper reference [18], the prominent oracle-less baseline KRATT builds on.
+For every key input, SCOPE synthesizes the netlist twice — key bit pinned
+to 0 and to 1 — and compares synthesis features (area, logic depth, a
+switching-activity power proxy).  A significant asymmetry *deciphers* the
+bit; symmetric features leave it unresolved.
+
+Two decision rules are provided, because the meaning of "more
+simplification" depends on what is being analyzed:
+
+* ``rule="preserve"`` (SCOPE standalone, whole locked netlist): guess the
+  value that *preserves* more logic.  Rationale: guard/mask logic exists
+  to protect the secret; pinning a bit to the wrong value makes that
+  logic redundant (e.g. a wrong SARLock key bit lets the comparator imply
+  the mask away), so the wrong value synthesizes smaller.
+* ``rule="collapse"`` (KRATT's usage on the *modified locking unit*):
+  guess the value that simplifies more.  For an extracted unit the
+  correct key makes the critical signal constant — maximal constant
+  propagation is the signature of correctness (paper Section III-B).
+
+The synthesis step here is constant propagation + dead-code elimination +
+a windowed SAT implication sweep, mirroring what a commercial tool's
+constant-propagation and redundancy-removal stages do.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..netlist.cone import transitive_fanout
+from ..synth.constprop import circuit_features, dead_code_eliminate, propagate_constants
+from ..synth.sweep import implication_simplify, simulation_observations
+
+__all__ = ["ScopeResult", "scope_attack"]
+
+
+@dataclass
+class ScopeResult:
+    """Per-key guesses plus the features that drove each decision."""
+
+    guesses: dict
+    features: dict = field(default_factory=dict)
+    elapsed: float = 0.0
+    rule: str = "preserve"
+
+    @property
+    def deciphered(self):
+        return {k: v for k, v in self.guesses.items() if v is not None}
+
+    def __repr__(self):
+        return (
+            f"ScopeResult(deciphered={len(self.deciphered)}/"
+            f"{len(self.guesses)}, rule={self.rule!r})"
+        )
+
+
+def _pinned_features(
+    circuit, key, value, use_implications, window, max_conflicts, max_checks,
+    power_patterns,
+):
+    region = transitive_fanout(circuit, [key], include_sources=False)
+    pinned, _ = propagate_constants(circuit, {key: bool(value)})
+    pinned, _ = dead_code_eliminate(pinned)
+    if use_implications:
+        # Top-down over the affected region: locking-unit merge points sit
+        # near the outputs and collapse first.
+        ordered = [s for s in pinned.topological_order() if s in region]
+        ordered.reverse()
+        if ordered:
+            observations = simulation_observations(pinned, patterns=96)
+            pinned, _ = implication_simplify(
+                pinned,
+                region=ordered,
+                window=window,
+                max_conflicts=max_conflicts,
+                max_checks=max_checks,
+                observations=observations,
+            )
+    return circuit_features(pinned, power_patterns=power_patterns)
+
+
+def scope_attack(
+    circuit,
+    key_inputs,
+    rule="preserve",
+    area_threshold=1,
+    use_implications=True,
+    window=700,
+    max_conflicts=4000,
+    max_checks=24,
+    power_patterns=32,
+):
+    """Run SCOPE over a locked netlist (or extracted unit).
+
+    Parameters
+    ----------
+    circuit:
+        Netlist to analyze; key inputs must be primary inputs of it.
+    key_inputs:
+        Names of the key inputs to decipher.
+    rule:
+        ``"preserve"`` or ``"collapse"`` — see module docstring.
+    area_threshold:
+        Minimum area asymmetry (in gates) required to commit to a guess;
+        smaller differences leave the bit undeciphered.
+
+    Returns a :class:`ScopeResult`; undeciphered bits map to ``None``.
+    """
+    if rule not in ("preserve", "collapse"):
+        raise ValueError(f"unknown SCOPE rule {rule!r}")
+    start = time.monotonic()
+    guesses = {}
+    features = {}
+    for key in key_inputs:
+        if key not in circuit:
+            guesses[key] = None
+            continue
+        feats = {}
+        for value in (0, 1):
+            feats[value] = _pinned_features(
+                circuit,
+                key,
+                value,
+                use_implications,
+                window,
+                max_conflicts,
+                max_checks,
+                power_patterns,
+            )
+        features[key] = feats
+        area_delta = feats[0].area - feats[1].area
+        if abs(area_delta) < area_threshold:
+            guesses[key] = None
+            continue
+        smaller = 0 if feats[0].area < feats[1].area else 1
+        if rule == "preserve":
+            guesses[key] = bool(1 - smaller)
+        else:
+            guesses[key] = bool(smaller)
+    return ScopeResult(
+        guesses=guesses,
+        features=features,
+        elapsed=time.monotonic() - start,
+        rule=rule,
+    )

@@ -1,0 +1,25 @@
+"""Benchmark circuit generation (ISCAS'85 / ITC'99 / HeLLO stand-ins)."""
+
+from .hello import HELLO_H, hello_circuit, hello_locked
+from .layered import layered_circuit
+from .multiplier import array_multiplier
+from .registry import (
+    SPECS,
+    CircuitSpec,
+    generate_host,
+    resolve_scale,
+    scaled_key_width,
+)
+
+__all__ = [
+    "CircuitSpec",
+    "SPECS",
+    "generate_host",
+    "resolve_scale",
+    "scaled_key_width",
+    "layered_circuit",
+    "array_multiplier",
+    "HELLO_H",
+    "hello_circuit",
+    "hello_locked",
+]

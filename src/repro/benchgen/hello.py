@@ -1,0 +1,39 @@
+"""HeLLO: CTF'22 circuit reproductions (paper Table V).
+
+The competition released three SFLL-locked circuits; the KRATT paper
+reports their interfaces (inputs / outputs / gates / key inputs) and
+attacks them under both threat models.  The original netlists are not
+available offline, so this module generates size-matched hosts from the
+registry and locks them with SFLL-HD at the published key widths.
+
+The Hamming distance ``h`` of each competition circuit is not public; the
+values below were chosen so that the attack-difficulty ordering of
+Table V is preserved (v3 smallest/easiest for the SAT attack, v2 the
+most expensive for KRATT's exhaustive search).
+"""
+
+from __future__ import annotations
+
+from ..locking.sfll_hd import lock_sfll_hd
+from .registry import SPECS, generate_host, resolve_scale, scaled_key_width
+
+__all__ = ["HELLO_H", "hello_circuit", "hello_locked"]
+
+#: Hamming distance used per competition circuit (reproduction choice).
+HELLO_H = {"final_v1": 2, "final_v2": 1, "final_v3": 1}
+
+
+def hello_circuit(name, scale=None, seed=0):
+    """The unlocked host for a HeLLO circuit (oracle source)."""
+    if name not in HELLO_H:
+        raise ValueError(f"unknown HeLLO circuit {name!r}")
+    return generate_host(name, scale=scale, seed=seed)
+
+
+def hello_locked(name, scale=None, seed=0):
+    """The SFLL-HD-locked HeLLO circuit at the published key width."""
+    spec = SPECS[name]
+    host = hello_circuit(name, scale=scale, seed=seed)
+    key_width = spec.key_width if resolve_scale(scale) == "paper" else scaled_key_width(spec, scale)
+    key_width = min(key_width, len(host.inputs) - 1)
+    return lock_sfll_hd(host, key_width, h=HELLO_H[name], seed=seed)

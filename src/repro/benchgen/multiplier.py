@@ -1,0 +1,106 @@
+"""Array multiplier generator — the c6288 stand-in.
+
+The real ISCAS'85 c6288 is a 16x16 carry-save array multiplier (32
+inputs, 32 outputs, ~2400 gates).  This generator builds the same
+architecture: an AND-gate partial-product plane reduced by rows of half
+and full adders, with a ripple chain producing the high half.  The result
+is functionally a true multiplier, which the tests exploit
+(``a * b == product``) and which gives the locking experiments a host
+with deep arithmetic structure like the original.
+"""
+
+from __future__ import annotations
+
+from ..netlist.blocks import add_full_adder, add_half_adder
+from ..netlist.circuit import Circuit
+from ..netlist.gate import GateType
+
+__all__ = ["array_multiplier"]
+
+
+def array_multiplier(width_a=16, width_b=16, name=None):
+    """Build a ``width_a x width_b`` array multiplier.
+
+    Inputs ``a0..a{wa-1}``, ``b0..b{wb-1}`` (little-endian); outputs
+    ``p0..p{wa+wb-1}``.
+    """
+    circuit = Circuit(name or f"mul{width_a}x{width_b}")
+    a_bits = [circuit.add_input(f"a{i}") for i in range(width_a)]
+    b_bits = [circuit.add_input(f"b{j}") for j in range(width_b)]
+
+    # Partial products pp[i][j] = a_i AND b_j contributes to column i+j.
+    columns = [[] for _ in range(width_a + width_b)]
+    for i in range(width_a):
+        for j in range(width_b):
+            name_pp = f"pp_{i}_{j}"
+            circuit.add_gate(name_pp, GateType.AND, (a_bits[i], b_bits[j]))
+            columns[i + j].append(name_pp)
+
+    # Carry-save reduction: repeatedly compress each column with full and
+    # half adders until at most two bits per column remain.
+    stage = 0
+    while any(len(col) > 2 for col in columns):
+        new_columns = [[] for _ in range(len(columns) + 1)]
+        for ci, col in enumerate(columns):
+            pending = list(col)
+            unit = 0
+            while len(pending) >= 3:
+                x, y, z = pending[:3]
+                pending = pending[3:]
+                s, c = add_full_adder(
+                    circuit, f"csa{stage}_c{ci}_f{unit}", x, y, z
+                )
+                unit += 1
+                new_columns[ci].append(s)
+                new_columns[ci + 1].append(c)
+            if len(pending) == 2 and len(col) > 2:
+                x, y = pending
+                pending = []
+                s, c = add_half_adder(circuit, f"csa{stage}_c{ci}_h{unit}", x, y)
+                new_columns[ci].append(s)
+                new_columns[ci + 1].append(c)
+            new_columns[ci].extend(pending)
+        while new_columns and not new_columns[-1]:
+            new_columns.pop()
+        columns = new_columns
+        stage += 1
+
+    # Final ripple: add the two remaining rows.
+    outputs = []
+    carry = None
+    for ci, col in enumerate(columns):
+        tag = f"fin_c{ci}"
+        if len(col) == 0:
+            if carry is None:
+                bit = circuit.add_gate(f"{tag}_zero", GateType.CONST0, ())
+            else:
+                bit = carry
+                carry = None
+            outputs.append(bit)
+            continue
+        if len(col) == 1 and carry is None:
+            outputs.append(col[0])
+            continue
+        if len(col) == 1:
+            s, carry = add_half_adder(circuit, tag, col[0], carry)
+            outputs.append(s)
+            continue
+        x, y = col
+        if carry is None:
+            s, carry = add_half_adder(circuit, tag, x, y)
+        else:
+            s, carry = add_full_adder(circuit, tag, x, y, carry)
+        outputs.append(s)
+    if carry is not None:
+        outputs.append(carry)
+
+    product_width = width_a + width_b
+    outputs = outputs[:product_width]
+    renames = {}
+    for i, sig in enumerate(outputs):
+        renames[sig] = f"p{i}"
+    result = circuit.renamed(renames)
+    result.set_outputs([f"p{i}" for i in range(len(outputs))])
+    result.name = circuit.name
+    result.validate()
+    return result

@@ -1,0 +1,100 @@
+"""Benchmark circuit registry — Table I (and IV/V hosts) of the paper.
+
+Each spec records the published interface of the original benchmark
+(inputs / outputs / gates / key width, from Table I, Table IV and Table V
+of the KRATT paper) and how to generate the size-matched stand-in host.
+``REPRO_SCALE`` (env var or the ``scale`` argument) shrinks hosts and key
+widths for laptop-speed runs:
+
+* ``paper`` — published sizes (default for Table I reporting);
+* ``small`` — gate counts and key widths divided by 4 (default for
+  attack benches);
+* ``tiny``  — divided by 16 (test-suite speed).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from .layered import layered_circuit
+from .multiplier import array_multiplier
+
+__all__ = ["CircuitSpec", "SPECS", "generate_host", "resolve_scale", "scaled_key_width"]
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Published benchmark parameters (paper Tables I, IV, V)."""
+
+    name: str
+    inputs: int
+    outputs: int
+    gates: int
+    key_width: int
+    family: str  # "iscas85" | "itc99" | "hello"
+    kind: str = "layered"  # "layered" | "multiplier"
+
+
+#: Table I benchmarks (first experiment set).
+SPECS = {
+    "c2670": CircuitSpec("c2670", 157, 64, 1193, 64, "iscas85"),
+    "c5315": CircuitSpec("c5315", 178, 123, 2307, 64, "iscas85"),
+    "c6288": CircuitSpec("c6288", 32, 32, 2416, 32, "iscas85", kind="multiplier"),
+    "b14_C": CircuitSpec("b14_C", 277, 299, 9768, 128, "itc99"),
+    "b15_C": CircuitSpec("b15_C", 485, 519, 8367, 128, "itc99"),
+    "b20_C": CircuitSpec("b20_C", 522, 512, 19683, 128, "itc99"),
+    # Table IV additions (Gen-Anti-SAT experiment, ITC'99).
+    "b17_C": CircuitSpec("b17_C", 1452, 1445, 24194, 128, "itc99"),
+    "b21_C": CircuitSpec("b21_C", 522, 512, 20027, 128, "itc99"),
+    "b22_C": CircuitSpec("b22_C", 767, 757, 29162, 128, "itc99"),
+    # Table V: HeLLO: CTF'22 (SFLL-locked; host interfaces).
+    "final_v1": CircuitSpec("final_v1", 767, 757, 17144, 87, "hello"),
+    "final_v2": CircuitSpec("final_v2", 1452, 1445, 27440, 47, "hello"),
+    "final_v3": CircuitSpec("final_v3", 522, 1, 93, 29, "hello"),
+}
+
+_SCALE_FACTORS = {"paper": 1, "small": 4, "tiny": 16}
+
+
+def resolve_scale(scale=None):
+    """Resolve the effective scale name from the argument or environment."""
+    scale = scale or os.environ.get("REPRO_SCALE", "small")
+    if scale not in _SCALE_FACTORS:
+        raise ValueError(f"unknown scale {scale!r}; pick from {sorted(_SCALE_FACTORS)}")
+    return scale
+
+
+def scaled_key_width(spec, scale=None):
+    """Key width at the given scale (even, floored at 12).
+
+    The floor keeps the scaled key space large enough (``2^12``) that the
+    baseline attacks' one-DIP-per-wrong-key behaviour still exhausts any
+    laptop-scale time budget, preserving the paper's OoT results.
+    """
+    factor = _SCALE_FACTORS[resolve_scale(scale)]
+    width = max(12, spec.key_width // factor)
+    return width - (width % 2)
+
+
+def generate_host(name, scale=None, seed=0):
+    """Generate the stand-in host circuit for a registered benchmark.
+
+    Returns the circuit; its gate count approximates
+    ``spec.gates / factor``.
+    """
+    spec = SPECS[name]
+    factor = _SCALE_FACTORS[resolve_scale(scale)]
+    if spec.kind == "multiplier":
+        # Keep >= 12 inputs even at tiny scale so the scaled key width
+        # still defeats one-DIP-per-key baselines within laptop budgets.
+        width = max(6, int(16 / factor**0.5))
+        return array_multiplier(width, width, name=spec.name)
+    gates = max(60, spec.gates // factor)
+    inputs = max(16, spec.inputs // (1 if factor == 1 else 2))
+    outputs = max(1, spec.outputs // (1 if factor == 1 else 2))
+    if spec.name == "final_v3":
+        inputs = spec.inputs if factor == 1 else max(40, spec.inputs // 4)
+        outputs = 1
+        gates = spec.gates  # tiny already
+    return layered_circuit(spec.name, inputs, outputs, gates, seed=seed)

@@ -1,0 +1,186 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the workflow of the original KRATT release (a Perl
+script driven on ``.bench`` files):
+
+* ``lock``     — lock a ``.bench`` netlist with a chosen technique and
+  write the locked netlist plus a key file;
+* ``attack``   — run KRATT (OL, or OG given an oracle netlist) on a
+  locked ``.bench`` file;
+* ``removal``  — run the removal attack / reconstruction;
+* ``info``     — print netlist statistics;
+* ``gen``      — emit one of the registered benchmark stand-ins.
+
+Key files are one ``name=0|1`` pair per line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .attacks import Oracle, kratt_og_attack, kratt_ol_attack
+from .attacks.removal import removal_attack
+from .benchgen.registry import SPECS, generate_host
+from .locking import TECHNIQUES
+from .netlist.bench import parse_bench_file, write_bench_file
+from .synth.resynth import resynthesize
+
+__all__ = ["main"]
+
+
+def _write_key(path, key):
+    with open(path, "w") as handle:
+        for name in sorted(key):
+            value = key[name]
+            rendered = "x" if value is None else str(int(bool(value)))
+            handle.write(f"{name}={rendered}\n")
+
+
+def _key_inputs_of(circuit, prefix):
+    keys = tuple(s for s in circuit.inputs if s.startswith(prefix))
+    if not keys:
+        raise SystemExit(f"no inputs with prefix {prefix!r} in the netlist")
+    return keys
+
+
+def _cmd_lock(args):
+    host = parse_bench_file(args.bench)
+    lock = TECHNIQUES[args.technique]
+    kwargs = {"seed": args.seed}
+    if args.technique == "sfll_hd":
+        kwargs["h"] = args.h
+    locked = lock(host, args.keys, **kwargs)
+    netlist = locked.circuit
+    if args.resynth:
+        netlist = resynthesize(netlist, seed=args.seed, effort=2)
+    write_bench_file(netlist, args.output, header=f"locked with {args.technique}")
+    _write_key(args.output + ".key", locked.correct_key)
+    print(f"wrote {args.output} ({netlist.num_gates} gates) and {args.output}.key")
+    return 0
+
+
+def _cmd_attack(args):
+    locked = parse_bench_file(args.bench)
+    keys = _key_inputs_of(locked, args.key_prefix)
+    if args.oracle:
+        oracle = Oracle(parse_bench_file(args.oracle))
+        result = kratt_og_attack(
+            locked, keys, oracle, qbf_time_limit=args.qbf_limit
+        )
+    else:
+        result = kratt_ol_attack(locked, keys, qbf_time_limit=args.qbf_limit)
+    summary = {
+        "attack": result.attack,
+        "method": result.details.get("method"),
+        "success": result.success,
+        "elapsed": round(result.elapsed, 3),
+        "deciphered": sum(1 for v in result.key.values() if v is not None),
+        "key_width": len(keys),
+    }
+    print(json.dumps(summary, indent=2))
+    if args.key_out and result.key:
+        _write_key(args.key_out, result.key)
+        print(f"wrote {args.key_out}")
+    return 0 if result.success or summary["deciphered"] else 1
+
+
+def _cmd_removal(args):
+    locked = parse_bench_file(args.bench)
+    keys = _key_inputs_of(locked, args.key_prefix)
+    if args.reconstruct:
+        from .attacks.removal import reconstruct_original
+
+        oracle = Oracle(parse_bench_file(args.oracle))
+        result = reconstruct_original(locked, keys, oracle)
+    else:
+        result = removal_attack(locked, keys)
+    if not result.success:
+        print(f"removal failed: {result.details}", file=sys.stderr)
+        return 1
+    write_bench_file(result.circuit, args.output)
+    print(
+        f"wrote {args.output} ({result.circuit.num_gates} gates, "
+        f"cs1={result.critical_signal})"
+    )
+    return 0
+
+
+def _cmd_info(args):
+    circuit = parse_bench_file(args.bench)
+    hist = {g.value: n for g, n in sorted(
+        circuit.gate_type_histogram().items(), key=lambda kv: kv[0].value
+    )}
+    print(json.dumps({
+        "name": circuit.name,
+        "inputs": len(circuit.inputs),
+        "outputs": len(circuit.outputs),
+        "gates": circuit.num_gates,
+        "depth": circuit.depth(),
+        "gate_types": hist,
+    }, indent=2))
+    return 0
+
+
+def _cmd_gen(args):
+    circuit = generate_host(args.name, scale=args.scale, seed=args.seed)
+    write_bench_file(circuit, args.output, header=f"{args.name} stand-in")
+    print(f"wrote {args.output} ({circuit.num_gates} gates)")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="KRATT reproduction: lock and attack gate-level netlists",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("lock", help="lock a .bench netlist")
+    p.add_argument("bench")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("-t", "--technique", choices=sorted(TECHNIQUES), required=True)
+    p.add_argument("-k", "--keys", type=int, required=True)
+    p.add_argument("--h", type=int, default=1, help="SFLL-HD distance")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--resynth", action="store_true")
+    p.set_defaults(func=_cmd_lock)
+
+    p = sub.add_parser("attack", help="run KRATT on a locked .bench netlist")
+    p.add_argument("bench")
+    p.add_argument("--oracle", help=".bench of the functional IC (enables OG)")
+    p.add_argument("--key-prefix", default="keyinput")
+    p.add_argument("--key-out")
+    p.add_argument("--qbf-limit", type=float, default=5.0)
+    p.set_defaults(func=_cmd_attack)
+
+    p = sub.add_parser("removal", help="removal attack / reconstruction")
+    p.add_argument("bench")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--key-prefix", default="keyinput")
+    p.add_argument("--reconstruct", action="store_true")
+    p.add_argument("--oracle", help="required with --reconstruct")
+    p.set_defaults(func=_cmd_removal)
+
+    p = sub.add_parser("info", help="print netlist statistics")
+    p.add_argument("bench")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("gen", help="generate a benchmark stand-in")
+    p.add_argument("name", choices=sorted(SPECS))
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--scale", default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_gen)
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,30 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .harness import PreparedCircuit, Timer, format_table, prepare_locked
+from .tables import (
+    TABLE1_CIRCUITS,
+    TABLE2_TECHNIQUES,
+    fig6_rows,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+    valkyrie_rows,
+)
+
+__all__ = [
+    "PreparedCircuit",
+    "Timer",
+    "format_table",
+    "prepare_locked",
+    "TABLE1_CIRCUITS",
+    "TABLE2_TECHNIQUES",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "table5_rows",
+    "fig6_rows",
+    "valkyrie_rows",
+]

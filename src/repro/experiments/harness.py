@@ -1,0 +1,114 @@
+"""Shared experiment harness: locked-circuit preparation and table output.
+
+Every benchmark in ``benchmarks/`` regenerates one paper artifact (table
+or figure) through the row-builder functions in
+:mod:`repro.experiments.tables`; this module holds the common machinery —
+deterministic preparation of (host, locked, resynthesized) triples,
+wall-clock measurement, and paper-style row formatting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..benchgen.registry import generate_host, resolve_scale, scaled_key_width, SPECS
+from ..locking import TECHNIQUES
+from ..synth.resynth import resynthesize
+
+__all__ = ["PreparedCircuit", "prepare_locked", "format_table", "Timer"]
+
+
+@dataclass
+class PreparedCircuit:
+    """A host + locked + synthesized triple ready for attacks."""
+
+    spec: object
+    locked: object  # LockedCircuit ground truth
+    netlist: object  # attack view: resynthesized locked netlist
+    scale: str
+    key_width: int
+    prep_elapsed: float = 0.0
+
+
+class Timer:
+    """Context manager measuring wall-clock seconds into ``.elapsed``."""
+
+    def __enter__(self):
+        self._start = time.monotonic()
+        self.elapsed = 0.0
+        return self
+
+    def __exit__(self, *exc):
+        self.elapsed = time.monotonic() - self._start
+        return False
+
+
+_PREP_CACHE = {}
+
+
+def prepare_locked(
+    circuit_name,
+    technique,
+    scale=None,
+    seed=0,
+    synth_seed=1,
+    resynth=True,
+    h=None,
+    cache=True,
+):
+    """Generate, lock, and resynthesize one benchmark circuit.
+
+    Mirrors the paper's setup: hosts locked at RTL, then synthesized "to
+    break the regular structure of the locking scheme".  Deterministic in
+    all arguments; results are memoized per process.
+    """
+    scale = resolve_scale(scale)
+    key = (circuit_name, technique, scale, seed, synth_seed, resynth, h)
+    if cache and key in _PREP_CACHE:
+        return _PREP_CACHE[key]
+
+    start = time.monotonic()
+    spec = SPECS[circuit_name]
+    host = generate_host(circuit_name, scale=scale, seed=seed)
+    key_width = spec.key_width if scale == "paper" else scaled_key_width(spec, scale)
+    key_width = min(key_width, len(host.inputs) - 1)
+    key_width -= key_width % 2
+
+    lock = TECHNIQUES[technique]
+    if technique == "sfll_hd":
+        locked = lock(host, key_width, h=h if h is not None else 1, seed=seed)
+    else:
+        locked = lock(host, key_width, seed=seed)
+
+    netlist = locked.circuit
+    if resynth:
+        netlist = resynthesize(netlist, seed=synth_seed, effort=2)
+    prepared = PreparedCircuit(
+        spec=spec,
+        locked=locked,
+        netlist=netlist,
+        scale=scale,
+        key_width=locked.key_width,
+        prep_elapsed=time.monotonic() - start,
+    )
+    if cache:
+        _PREP_CACHE[key] = prepared
+    return prepared
+
+
+def format_table(title, header, rows, note=None):
+    """Render rows as an aligned text table (paper-style)."""
+    widths = [len(h) for h in header]
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    if note:
+        lines.append(note)
+    return "\n".join(lines)

@@ -1,0 +1,313 @@
+"""Row builders for every table and figure of the KRATT paper.
+
+Each function regenerates one artifact of the evaluation section and
+returns ``(header, rows)`` ready for
+:func:`repro.experiments.harness.format_table`.  The benchmarks print
+them; EXPERIMENTS.md records paper-vs-measured values.
+
+All attacks see only the *resynthesized* locked netlist and the key-input
+names (plus an oracle in OG experiments), never the ground truth.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from ..attacks import (
+    Oracle,
+    appsat_attack,
+    ddip_attack,
+    kratt_og_attack,
+    kratt_ol_attack,
+    sat_attack,
+    scope_attack,
+    score_key,
+)
+from ..benchgen.hello import HELLO_H, hello_locked
+from ..benchgen.registry import SPECS, generate_host, resolve_scale
+from ..locking import SFLT_TECHNIQUES
+from ..synth.resynth import resynthesize
+from .harness import Timer, prepare_locked
+
+__all__ = [
+    "TABLE1_CIRCUITS",
+    "TABLE2_TECHNIQUES",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "table4_rows",
+    "table5_rows",
+    "fig6_rows",
+    "valkyrie_rows",
+]
+
+TABLE1_CIRCUITS = ("c2670", "c5315", "c6288", "b14_C", "b15_C", "b20_C")
+TABLE2_TECHNIQUES = ("antisat", "sarlock", "cac", "ttlock")
+TABLE4_CIRCUITS = ("b14_C", "b15_C", "b17_C", "b20_C", "b21_C", "b22_C")
+HELLO_CIRCUITS = ("final_v1", "final_v2", "final_v3")
+
+_SCOPE_FAST = {"use_implications": False, "power_patterns": 16}
+
+
+def table1_rows(scale=None):
+    """Table I: benchmark details (published vs generated stand-ins)."""
+    scale = resolve_scale(scale)
+    header = (
+        "Circuit", "#inputs", "#outputs", "#gates(paper)", "#gates(gen)",
+        "#key inputs", "scale",
+    )
+    rows = []
+    for name in TABLE1_CIRCUITS:
+        spec = SPECS[name]
+        host = generate_host(name, scale=scale)
+        rows.append(
+            (
+                name,
+                len(host.inputs),
+                len(host.outputs),
+                spec.gates,
+                host.num_gates,
+                spec.key_width,
+                scale,
+            )
+        )
+    return header, rows
+
+
+def _ol_cell(locked, guesses, elapsed):
+    score = score_key(locked, guesses)
+    return f"{score.cdk}/{score.dk}", f"{elapsed:.2f}"
+
+
+def table2_rows(scale=None, circuits=TABLE1_CIRCUITS, techniques=TABLE2_TECHNIQUES,
+                qbf_time_limit=3.0):
+    """Table II: OL attacks (SCOPE vs KRATT) on the ISCAS/ITC circuits."""
+    header = ("Circuit", "Technique", "SCOPE cdk/dk", "SCOPE CPU",
+              "KRATT cdk/dk", "KRATT CPU", "KRATT method")
+    rows = []
+    for circuit_name in circuits:
+        for technique in techniques:
+            prep = prepare_locked(circuit_name, technique, scale=scale)
+            with Timer() as t_scope:
+                scope = scope_attack(
+                    prep.netlist, prep.locked.key_inputs, rule="preserve",
+                    **_SCOPE_FAST,
+                )
+            scope_cell = _ol_cell(prep.locked, scope.guesses, t_scope.elapsed)
+            with Timer() as t_kratt:
+                result = kratt_ol_attack(
+                    prep.netlist, prep.locked.key_inputs,
+                    qbf_time_limit=qbf_time_limit,
+                    scope_kwargs=_SCOPE_FAST,
+                    technique=technique,
+                )
+            kratt_cell = _ol_cell(prep.locked, result.key, t_kratt.elapsed)
+            rows.append(
+                (circuit_name, technique, *scope_cell, *kratt_cell,
+                 result.details.get("method", "-"))
+            )
+    return header, rows
+
+
+def table3_rows(scale=None, circuits=TABLE1_CIRCUITS, techniques=TABLE2_TECHNIQUES,
+                baseline_time_limit=15.0, qbf_time_limit=3.0):
+    """Table III: OG attacks (SAT / DDIP / AppSAT / KRATT).
+
+    ``baseline_time_limit`` is the scaled stand-in for the paper's 2-day
+    limit; baselines hitting it report OoT, as in the paper.
+    """
+    header = ("Circuit", "Technique", "SAT", "DDIP", "AppSAT", "KRATT", "KRATT ok")
+    rows = []
+    for circuit_name in circuits:
+        for technique in techniques:
+            prep = prepare_locked(circuit_name, technique, scale=scale)
+            cells = []
+            for attack in (sat_attack, ddip_attack, appsat_attack):
+                oracle = Oracle(prep.locked.original)
+                result = attack(
+                    prep.netlist, prep.locked.key_inputs, oracle,
+                    time_limit=baseline_time_limit, technique=technique,
+                )
+                if result.timed_out:
+                    cells.append("OoT")
+                elif result.success and score_key(prep.locked, result.key).functional:
+                    cells.append(f"{result.elapsed:.2f}")
+                else:
+                    cells.append("wrong" if result.key else "fail")
+            oracle = Oracle(prep.locked.original)
+            result = kratt_og_attack(
+                prep.netlist, prep.locked.key_inputs, oracle,
+                qbf_time_limit=qbf_time_limit, technique=technique,
+            )
+            score = score_key(prep.locked, result.key)
+            cells.append(f"{result.elapsed:.2f}")
+            rows.append((circuit_name, technique, *cells,
+                         "yes" if score.functional else "no"))
+    return header, rows
+
+
+def table4_rows(scale=None, circuits=TABLE4_CIRCUITS, qbf_time_limit=3.0):
+    """Table IV: OL attacks on Gen-Anti-SAT locked ITC'99 circuits."""
+    header = ("Circuit", "SCOPE cdk/dk", "SCOPE CPU", "KRATT cdk/dk",
+              "KRATT CPU", "KRATT method")
+    rows = []
+    for circuit_name in circuits:
+        prep = prepare_locked(circuit_name, "genantisat", scale=scale)
+        with Timer() as t_scope:
+            scope = scope_attack(
+                prep.netlist, prep.locked.key_inputs, rule="preserve",
+                **_SCOPE_FAST,
+            )
+        scope_cell = _ol_cell(prep.locked, scope.guesses, t_scope.elapsed)
+        with Timer() as t_kratt:
+            result = kratt_ol_attack(
+                prep.netlist, prep.locked.key_inputs,
+                qbf_time_limit=qbf_time_limit, scope_kwargs=_SCOPE_FAST,
+                technique="genantisat",
+            )
+        kratt_cell = _ol_cell(prep.locked, result.key, t_kratt.elapsed)
+        rows.append((circuit_name, *scope_cell, *kratt_cell,
+                     result.details.get("method", "-")))
+    return header, rows
+
+
+def table5_rows(scale=None, baseline_time_limit=30.0, qbf_time_limit=3.0):
+    """Table V: HeLLO: CTF'22 circuits — details plus OL and OG attacks."""
+    header = ("Circuit", "#in", "#out", "#gates", "#keys", "h",
+              "SCOPE cdk/dk", "KRATT-OL cdk/dk", "SAT", "KRATT-OG", "OG ok")
+    rows = []
+    scale = resolve_scale(scale)
+    for name in HELLO_CIRCUITS:
+        locked = hello_locked(name, scale=scale)
+        netlist = resynthesize(locked.circuit, seed=1, effort=2)
+        with Timer() as t_scope:
+            scope = scope_attack(netlist, locked.key_inputs, rule="preserve",
+                                 **_SCOPE_FAST)
+        scope_score = score_key(locked, scope.guesses)
+        result_ol = kratt_ol_attack(
+            netlist, locked.key_inputs, qbf_time_limit=qbf_time_limit,
+            scope_kwargs=_SCOPE_FAST, technique="sfll_hd",
+        )
+        ol_score = score_key(locked, result_ol.key)
+        oracle = Oracle(locked.original)
+        result_sat = sat_attack(
+            netlist, locked.key_inputs, oracle,
+            time_limit=baseline_time_limit, technique="sfll_hd",
+        )
+        sat_cell = "OoT" if result_sat.timed_out else (
+            f"{result_sat.elapsed:.2f}"
+            if result_sat.success and score_key(locked, result_sat.key).functional
+            else "wrong"
+        )
+        oracle = Oracle(locked.original)
+        result_og = kratt_og_attack(
+            netlist, locked.key_inputs, oracle,
+            qbf_time_limit=qbf_time_limit, technique="sfll_hd",
+        )
+        og_score = score_key(locked, result_og.key)
+        rows.append(
+            (
+                name,
+                len(locked.original.inputs),
+                len(locked.original.outputs),
+                netlist.num_gates,
+                locked.key_width,
+                HELLO_H[name],
+                scope_score.as_row(),
+                ol_score.as_row(),
+                sat_cell,
+                f"{result_og.elapsed:.2f}",
+                "yes" if og_score.functional else "no",
+            )
+        )
+    return header, rows
+
+
+def fig6_rows(scale=None, variants=10, techniques=TABLE2_TECHNIQUES,
+              qbf_time_limit=3.0):
+    """Fig. 6: impact of resynthesis on KRATT's run-time (c6288 hosts).
+
+    Locks c6288 with each technique, produces ``variants`` functionally
+    equivalent but structurally different netlists (seeded efforts and
+    delay constraints), runs KRATT on each, and reports the run-time
+    series plus the paper's summary statistics (mean, stddev, max/min).
+    """
+    header = ("Technique", "variant", "effort", "delay_bias", "KRATT CPU", "ok")
+    rows = []
+    summary = {}
+    for technique in techniques:
+        prep = prepare_locked("c6288", technique, scale=scale, resynth=False)
+        times = []
+        for v in range(variants):
+            effort = 1 + (v % 3)
+            delay_bias = (v % 5) / 4.0
+            netlist = resynthesize(
+                prep.locked.circuit, seed=100 + v, effort=effort,
+                delay_bias=delay_bias,
+            )
+            oracle = Oracle(prep.locked.original)
+            with Timer() as t:
+                result = kratt_og_attack(
+                    netlist, prep.locked.key_inputs, oracle,
+                    qbf_time_limit=qbf_time_limit, technique=technique,
+                )
+            score = score_key(prep.locked, result.key)
+            times.append(t.elapsed)
+            rows.append((technique, v, effort, f"{delay_bias:.2f}",
+                         f"{t.elapsed:.2f}", "yes" if score.functional else "no"))
+        mean = statistics.mean(times)
+        std = statistics.pstdev(times)
+        ratio = max(times) / max(min(times), 1e-9)
+        summary[technique] = (mean, std, ratio)
+    summary_rows = [
+        (tech, "mean/std/ratio", "-", "-",
+         f"{m:.2f}/{s:.2f}/{r:.2f}", "-")
+        for tech, (m, s, r) in summary.items()
+    ]
+    return header, rows + summary_rows
+
+
+def valkyrie_rows(scale=None, synth_seeds=(1, 2), qbf_time_limit=3.0,
+                  circuits=("b14_C", "b15_C"), key_widths=(None,)):
+    """Valkyrie-repository-style census (Section IV, second experiment).
+
+    Sweeps SFLTs and DFLTs over hosts and synthesis seeds; reports how
+    each locked instance was broken (QBF witness for SFLTs, structural
+    analysis for DFLTs) mirroring the paper's 720-circuit census at
+    reproduction scale.
+    """
+    header = ("Circuit", "Technique", "synth seed", "method", "functional")
+    rows = []
+    counts = {"qbf": 0, "structural": 0, "other": 0}
+    for circuit_name in circuits:
+        for technique in SFLT_TECHNIQUES + ("ttlock", "cac"):
+            for synth_seed in synth_seeds:
+                prep = prepare_locked(
+                    circuit_name, technique, scale=scale, synth_seed=synth_seed
+                )
+                if technique in SFLT_TECHNIQUES:
+                    result = kratt_ol_attack(
+                        prep.netlist, prep.locked.key_inputs,
+                        qbf_time_limit=qbf_time_limit, scope_kwargs=_SCOPE_FAST,
+                        technique=technique,
+                    )
+                else:
+                    oracle = Oracle(prep.locked.original)
+                    result = kratt_og_attack(
+                        prep.netlist, prep.locked.key_inputs, oracle,
+                        qbf_time_limit=qbf_time_limit, technique=technique,
+                    )
+                method = result.details.get("method", "-")
+                if method == "qbf":
+                    counts["qbf"] += 1
+                elif method == "og-structural":
+                    counts["structural"] += 1
+                else:
+                    counts["other"] += 1
+                score = score_key(prep.locked, result.key)
+                rows.append((circuit_name, technique, synth_seed, method,
+                             "yes" if score.functional else "no"))
+    rows.append(("TOTAL", f"qbf={counts['qbf']}",
+                 f"structural={counts['structural']}",
+                 f"other={counts['other']}", ""))
+    return header, rows

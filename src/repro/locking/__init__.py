@@ -1,0 +1,84 @@
+"""Logic locking techniques: SFLTs, DFLTs, and a weak XOR-lock baseline.
+
+Single flip locking techniques (SFLTs) — one critical signal corrupts the
+circuit for wrong keys:
+
+* :func:`lock_sarlock` — SARLock [4]
+* :func:`lock_antisat` — Anti-SAT [5]
+* :func:`lock_caslock` — CAS-Lock [6]
+* :func:`lock_genantisat` — Gen-Anti-SAT [7]
+
+Double flip locking techniques (DFLTs) — a perturb unit corrupts, a
+restore unit corrects under the right key:
+
+* :func:`lock_ttlock` — TTLock [8]
+* :func:`lock_cac` — CAC [11]
+* :func:`lock_sfll_hd` — SFLL-HD [9]
+
+Baseline:
+
+* :func:`lock_xor` — EPIC-style XOR/XNOR key gates (SAT-attackable)
+"""
+
+from .antisat import lock_antisat
+from .base import KEY_PREFIX, LockedCircuit, LockingError
+from .cac import lock_cac
+from .caslock import lock_caslock
+from .genantisat import lock_genantisat
+from .keys import (
+    format_key,
+    fresh_key_names,
+    int_to_key,
+    key_hamming_distance,
+    key_to_int,
+    random_key,
+)
+from .sarlock import lock_sarlock
+from .sfll_flex import lock_sfll_flex
+from .sfll_hd import lock_sfll_hd
+from .ttlock import lock_ttlock
+from .xor_lock import lock_xor
+
+#: Registry of technique name -> locking function (uniform signatures for
+#: sweep experiments; SFLL-HD binds its extra ``h`` parameter per call).
+TECHNIQUES = {
+    "antisat": lock_antisat,
+    "sarlock": lock_sarlock,
+    "caslock": lock_caslock,
+    "genantisat": lock_genantisat,
+    "ttlock": lock_ttlock,
+    "cac": lock_cac,
+    "sfll_hd": lock_sfll_hd,
+    "sfll_flex": lock_sfll_flex,
+    "xor_lock": lock_xor,
+}
+
+#: Techniques with a single critical flip signal (Fig. 1a of the paper).
+SFLT_TECHNIQUES = ("antisat", "sarlock", "caslock", "genantisat")
+
+#: Perturb/restore techniques (Fig. 1b of the paper).
+DFLT_TECHNIQUES = ("ttlock", "cac", "sfll_hd", "sfll_flex")
+
+__all__ = [
+    "LockedCircuit",
+    "LockingError",
+    "KEY_PREFIX",
+    "TECHNIQUES",
+    "SFLT_TECHNIQUES",
+    "DFLT_TECHNIQUES",
+    "lock_sarlock",
+    "lock_antisat",
+    "lock_caslock",
+    "lock_genantisat",
+    "lock_ttlock",
+    "lock_cac",
+    "lock_sfll_hd",
+    "lock_sfll_flex",
+    "lock_xor",
+    "fresh_key_names",
+    "random_key",
+    "key_to_int",
+    "int_to_key",
+    "key_hamming_distance",
+    "format_key",
+]

@@ -1,0 +1,77 @@
+"""Anti-SAT: mitigating the SAT attack (Xie & Srivastava, TCAD 2019).
+
+Paper reference [5].  The Anti-SAT block (Fig. 3b of the KRATT paper)
+feeds each protected primary input through *two* key gates into a pair of
+complementary trees::
+
+    g    = AND-tree( PPI xor K_A xor alpha )     # alpha hardwired
+    gbar = NOT(AND-tree( PPI xor K_B xor alpha ))
+    flip = g AND gbar
+    LPO  = OPO XOR flip
+
+``flip`` is constant 0 exactly when the two key halves are aligned
+(``K_A == K_B``); every aligned pair is functionally correct — the well
+known Anti-SAT key family.  A wrong (misaligned) pair corrupts exactly
+one input pattern, which defeats the SAT attack.  KRATT's QBF step finds
+an aligned pair; because the tree pair is *complementary* the witness is
+accepted as the secret key (see ``repro.attacks.kratt.qbf_attack``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist.gate import GateType
+from .base import LockedCircuit, build_tree, choose_protected_inputs, insert_output_flip
+from .keys import fresh_key_names, random_key
+from .pointfunc import add_key_leaves, pick_flip_output
+
+__all__ = ["lock_antisat"]
+
+
+def lock_antisat(original, key_width, seed=0, flip_output=None):
+    """Lock ``original`` with an Anti-SAT block of ``key_width`` key inputs.
+
+    ``key_width`` must be even: ``n = key_width // 2`` protected inputs,
+    each associated with one key input per tree (``2n`` keys total).
+    """
+    if key_width % 2:
+        raise ValueError("Anti-SAT needs an even key width (two keys per PPI)")
+    n = key_width // 2
+    rng = random.Random(("antisat", seed, original.name).__str__())
+    locked = original.copy(f"{original.name}_antisat")
+    ppis = choose_protected_inputs(locked, n, rng)
+    keys = fresh_key_names(key_width)
+    for key in keys:
+        locked.add_input(key)
+    keys_a = keys[:n]
+    keys_b = keys[n:]
+
+    alpha = [bool(rng.getrandbits(1)) for _ in range(n)]
+    leaves_a = add_key_leaves(locked, "asat_a", ppis, keys_a, alpha)
+    leaves_b = add_key_leaves(locked, "asat_b", ppis, keys_b, alpha)
+    g_root = build_tree(locked, "asat_g", GateType.AND, leaves_a, rng)
+    h_root = build_tree(locked, "asat_h", GateType.AND, leaves_b, rng)
+    locked.add_gate("asat_gbar", GateType.NOT, (h_root,))
+    flip = "asat_flip"
+    locked.add_gate(flip, GateType.AND, (g_root, "asat_gbar"))
+
+    target = flip_output or pick_flip_output(original)
+    insert_output_flip(locked, target, flip)
+
+    # Designated secret: a random aligned pair.
+    half = random_key(keys_a, rng)
+    secret = dict(half)
+    secret.update({kb: half[ka] for ka, kb in zip(keys_a, keys_b)})
+
+    return LockedCircuit(
+        circuit=locked,
+        key_inputs=keys,
+        correct_key=secret,
+        original=original,
+        technique="antisat",
+        protected_inputs=ppis,
+        key_of_ppi={ppi: (ka, kb) for ppi, ka, kb in zip(ppis, keys_a, keys_b)},
+        critical_signal=flip,
+        metadata={"flip_output": target, "alpha": alpha, "complementary": True},
+    )

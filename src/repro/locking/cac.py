@@ -1,0 +1,62 @@
+"""CAC: corrupt-and-correct locking (Shamsi et al., TIFS 2019).
+
+Paper reference [11].  CAC flips the original primary output for the
+protected pattern and flips it back whenever the primary input equals the
+protected pattern *or* the key::
+
+    fsc = OPO XOR (PPI == s)                     # perturb, s hardwired
+    LPO = fsc XOR ( (PPI == K) OR (PPI == s) )   # restore
+
+Under the correct key ``K == s`` the circuit is exact.  Under a wrong key
+``K'`` the two hardwired comparators cancel and corruption appears only
+at ``PPI == K'`` — one pattern per wrong key, which is what makes CAC
+approximation-resilient.  For KRATT the restore unit is again
+QBF-unsatisfiable and fires on every aligned input (``PPI == K``), so it
+classifies as a DFLT restore unit and the OG structural path applies.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist.gate import GateType
+from .base import LockedCircuit, choose_protected_inputs, insert_output_flip
+from .keys import fresh_key_names, random_key
+from .pointfunc import add_hardwired_comparator, add_key_comparator, pick_flip_output
+
+__all__ = ["lock_cac"]
+
+
+def lock_cac(original, key_width, seed=0, flip_output=None):
+    """Lock ``original`` with CAC using ``key_width`` key inputs."""
+    rng = random.Random(("cac", seed, original.name).__str__())
+    locked = original.copy(f"{original.name}_cac")
+    ppis = choose_protected_inputs(locked, key_width, rng)
+    keys = fresh_key_names(key_width)
+    for key in keys:
+        locked.add_input(key)
+    secret = random_key(keys, rng)
+    target = flip_output or pick_flip_output(original)
+
+    constants = [secret[k] for k in keys]
+    perturb = add_hardwired_comparator(locked, "cac_p", ppis, constants, rng)
+    insert_output_flip(locked, target, perturb)
+
+    key_cmp = add_key_comparator(locked, "cac_k", ppis, keys, rng)
+    sec_cmp = add_hardwired_comparator(locked, "cac_s", ppis, constants, rng)
+    restore = "cac_restore"
+    locked.add_gate(restore, GateType.OR, (key_cmp, sec_cmp))
+    insert_output_flip(locked, target, restore)
+
+    return LockedCircuit(
+        circuit=locked,
+        key_inputs=keys,
+        correct_key=secret,
+        original=original,
+        technique="cac",
+        protected_inputs=ppis,
+        key_of_ppi={ppi: (key,) for ppi, key in zip(ppis, keys)},
+        critical_signal=restore,
+        metadata={"flip_output": target, "protected_pattern": dict(
+            zip(ppis, constants))},
+    )

@@ -1,0 +1,82 @@
+"""CAS-Lock: cascaded locking blocks (Shakya et al., TCHES 2020).
+
+Paper reference [6].  CAS-Lock keeps the Anti-SAT skeleton but replaces
+the pure AND trees with a cascade mixing AND and OR gates, trading the
+security/corruptibility balance::
+
+    g    = mixed AND/OR tree( PPI xor K_A xor alpha )
+    gbar = NOT( same-structure tree( PPI xor K_B xor alpha ) )
+    flip = g AND gbar
+
+As in Anti-SAT the two trees are *complementary* (identical structure,
+one inverted root), so ``flip`` is constant 0 for every aligned key pair
+``K_A == K_B`` and the KRATT QBF formulation recovers a correct key — the
+paper reports the QBF step breaking all 120 Valkyrie CAS-Lock circuits.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist.gate import GateType
+from .base import LockedCircuit, build_tree, choose_protected_inputs, insert_output_flip
+from .keys import fresh_key_names, random_key
+from .pointfunc import add_key_leaves, pick_flip_output
+
+__all__ = ["lock_caslock"]
+
+
+def lock_caslock(original, key_width, seed=0, flip_output=None):
+    """Lock ``original`` with CAS-Lock using ``key_width`` key inputs."""
+    if key_width % 2:
+        raise ValueError("CAS-Lock needs an even key width (two keys per PPI)")
+    n = key_width // 2
+    rng = random.Random(("caslock", seed, original.name).__str__())
+    locked = original.copy(f"{original.name}_caslock")
+    ppis = choose_protected_inputs(locked, n, rng)
+    keys = fresh_key_names(key_width)
+    for key in keys:
+        locked.add_input(key)
+    keys_a = keys[:n]
+    keys_b = keys[n:]
+
+    alpha = [bool(rng.getrandbits(1)) for _ in range(n)]
+    # A deterministic (seeded) AND/OR level pattern shared by both trees:
+    # identical structure is what makes the pair complementary.
+    mix = [GateType.AND if rng.random() < 0.6 else GateType.OR for _ in range(16)]
+    if GateType.AND not in mix:
+        mix[0] = GateType.AND
+
+    # Both trees must pair leaves identically, so build without rng
+    # shuffling and rely on the shared level pattern for diversity.
+    leaves_a = add_key_leaves(locked, "casl_a", ppis, keys_a, alpha)
+    leaves_b = add_key_leaves(locked, "casl_b", ppis, keys_b, alpha)
+    g_root = build_tree(locked, "casl_g", mix, leaves_a)
+    h_root = build_tree(locked, "casl_h", mix, leaves_b)
+    locked.add_gate("casl_gbar", GateType.NOT, (h_root,))
+    flip = "casl_flip"
+    locked.add_gate(flip, GateType.AND, (g_root, "casl_gbar"))
+
+    target = flip_output or pick_flip_output(original)
+    insert_output_flip(locked, target, flip)
+
+    half = random_key(keys_a, rng)
+    secret = dict(half)
+    secret.update({kb: half[ka] for ka, kb in zip(keys_a, keys_b)})
+
+    return LockedCircuit(
+        circuit=locked,
+        key_inputs=keys,
+        correct_key=secret,
+        original=original,
+        technique="caslock",
+        protected_inputs=ppis,
+        key_of_ppi={ppi: (ka, kb) for ppi, ka, kb in zip(ppis, keys_a, keys_b)},
+        critical_signal=flip,
+        metadata={
+            "flip_output": target,
+            "alpha": alpha,
+            "mix": [g.value for g in mix],
+            "complementary": True,
+        },
+    )

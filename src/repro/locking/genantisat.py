@@ -1,0 +1,93 @@
+"""Gen-Anti-SAT: generalized Anti-SAT with non-complementary functions
+(Zhou & Zhang, TIFS 2021).
+
+Paper reference [7].  The generalized block keeps the two-tree Anti-SAT
+skeleton but the two tree functions are **non-complementary**: here they
+carry *independent* hardwired inversion masks::
+
+    g1   = AND-tree( PPI xor K_A xor alpha )
+    g2   = NOT(AND-tree( PPI xor K_B xor beta ))     with beta != alpha
+    flip = g1 AND g2
+
+``flip`` is constant 0 exactly when ``K_A xor K_B == alpha xor beta`` —
+the correct key family is an *offset* alignment rather than equality.
+Consequences reproduced from the KRATT paper:
+
+* The QBF formulation still finds a constant-making witness, but because
+  the tree pair is non-complementary KRATT cannot certify it as the
+  secret key and falls back to the oracle-less path (Table IV).
+* KRATT's circuit modification + SCOPE on the locking unit deciphers the
+  inversion masks — i.e. a correct-family key — with full accuracy.
+
+Deviation note: Zhou & Zhang also propose blocks with larger on-sets to
+raise output corruption; this reproduction keeps point-function on-sets
+(single corrupted pattern per wrong key), which preserves every KRATT
+code path while keeping SAT-resilience identical to Anti-SAT.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist.gate import GateType
+from .base import LockedCircuit, build_tree, choose_protected_inputs, insert_output_flip
+from .keys import fresh_key_names, random_key
+from .pointfunc import add_key_leaves, pick_flip_output
+
+__all__ = ["lock_genantisat"]
+
+
+def lock_genantisat(original, key_width, seed=0, flip_output=None):
+    """Lock ``original`` with a Gen-Anti-SAT block of ``key_width`` keys."""
+    if key_width % 2:
+        raise ValueError("Gen-Anti-SAT needs an even key width (two keys per PPI)")
+    n = key_width // 2
+    rng = random.Random(("genantisat", seed, original.name).__str__())
+    locked = original.copy(f"{original.name}_genantisat")
+    ppis = choose_protected_inputs(locked, n, rng)
+    keys = fresh_key_names(key_width)
+    for key in keys:
+        locked.add_input(key)
+    keys_a = keys[:n]
+    keys_b = keys[n:]
+
+    alpha = [bool(rng.getrandbits(1)) for _ in range(n)]
+    beta = list(alpha)
+    # Guarantee non-complementarity: flip at least one mask position.
+    flip_positions = rng.sample(range(n), max(1, n // 4))
+    for pos in flip_positions:
+        beta[pos] = not beta[pos]
+
+    leaves_a = add_key_leaves(locked, "gas_a", ppis, keys_a, alpha)
+    leaves_b = add_key_leaves(locked, "gas_b", ppis, keys_b, beta)
+    g1_root = build_tree(locked, "gas_g1", GateType.AND, leaves_a, rng)
+    g2_root = build_tree(locked, "gas_g2", GateType.AND, leaves_b, rng)
+    locked.add_gate("gas_g2bar", GateType.NOT, (g2_root,))
+    flip = "gas_flip"
+    locked.add_gate(flip, GateType.AND, (g1_root, "gas_g2bar"))
+
+    target = flip_output or pick_flip_output(original)
+    insert_output_flip(locked, target, flip)
+
+    # Designated secret: K_A random, K_B offset by alpha xor beta.
+    half = random_key(keys_a, rng)
+    secret = dict(half)
+    for i, (ka, kb) in enumerate(zip(keys_a, keys_b)):
+        secret[kb] = half[ka] ^ alpha[i] ^ beta[i]
+
+    return LockedCircuit(
+        circuit=locked,
+        key_inputs=keys,
+        correct_key=secret,
+        original=original,
+        technique="genantisat",
+        protected_inputs=ppis,
+        key_of_ppi={ppi: (ka, kb) for ppi, ka, kb in zip(ppis, keys_a, keys_b)},
+        critical_signal=flip,
+        metadata={
+            "flip_output": target,
+            "alpha": alpha,
+            "beta": beta,
+            "complementary": False,
+        },
+    )

@@ -1,0 +1,52 @@
+"""Key-generation and key-format helpers."""
+
+from __future__ import annotations
+
+import random
+
+from .base import KEY_PREFIX
+
+__all__ = [
+    "fresh_key_names",
+    "random_key",
+    "key_to_int",
+    "int_to_key",
+    "key_hamming_distance",
+    "format_key",
+]
+
+
+def fresh_key_names(count, start=0, prefix=KEY_PREFIX):
+    """Sequentially numbered key-input names (``keyinput0`` style)."""
+    return tuple(f"{prefix}{i}" for i in range(start, start + count))
+
+
+def random_key(names, rng=None):
+    """Uniformly random key assignment over the given key-input names."""
+    rng = rng or random.Random(0)
+    return {name: bool(rng.getrandbits(1)) for name in names}
+
+
+def key_to_int(key, names):
+    """Pack a key dict into an int; ``names[0]`` is the LSB."""
+    value = 0
+    for i, name in enumerate(names):
+        if key[name]:
+            value |= 1 << i
+    return value
+
+
+def int_to_key(value, names):
+    """Unpack an int into a key dict; ``names[0]`` is the LSB."""
+    return {name: bool((value >> i) & 1) for i, name in enumerate(names)}
+
+
+def key_hamming_distance(key_a, key_b, names=None):
+    """Number of key bits on which two assignments differ."""
+    names = names if names is not None else key_a.keys()
+    return sum(1 for n in names if bool(key_a[n]) != bool(key_b[n]))
+
+
+def format_key(key, names):
+    """Render a key as a bit string, ``names[-1]`` first (MSB-style)."""
+    return "".join("1" if key[n] else "0" for n in reversed(names))

@@ -1,0 +1,88 @@
+"""Building blocks shared by point-function locking techniques.
+
+All SAT-resilient techniques reproduced here are built from three pieces:
+key/PPI *leaf* gates (XOR/XNOR mixing a protected input with a key input),
+*hardwired comparators* (match a PPI vector against a secret constant),
+and *reduction trees*.  Keeping them in one place makes the techniques
+read like their paper block diagrams.
+"""
+
+from __future__ import annotations
+
+from ..netlist.gate import GateType
+from .base import LockingError, build_tree
+
+__all__ = [
+    "add_key_leaves",
+    "add_hardwired_comparator",
+    "add_key_comparator",
+    "pick_flip_output",
+]
+
+
+def add_key_leaves(circuit, prefix, ppis, keys, inversions=None):
+    """Add per-bit mixing gates ``leaf_i = ppi_i XOR key_i (XNOR if inverted)``.
+
+    ``inversions`` is an optional bool sequence (the hardwired inversion
+    mask baked into Anti-SAT-style trees).  Returns the leaf signal names.
+    """
+    if len(ppis) != len(keys):
+        raise LockingError("PPI and key lists must have equal length")
+    inversions = inversions or [False] * len(ppis)
+    leaves = []
+    for i, (ppi, key) in enumerate(zip(ppis, keys)):
+        gtype = GateType.XNOR if inversions[i] else GateType.XOR
+        name = f"{prefix}_leaf{i}"
+        circuit.add_gate(name, gtype, (ppi, key))
+        leaves.append(name)
+    return leaves
+
+
+def add_hardwired_comparator(circuit, prefix, ppis, constants, rng=None):
+    """Comparator against a hardwired constant vector; returns root signal.
+
+    Fires (outputs 1) exactly when each ``ppis[i]`` equals
+    ``constants[i]``.  Realized as BUF/NOT leaves feeding an AND tree, the
+    way an RTL comparison against a constant synthesizes.
+    """
+    if len(ppis) != len(constants):
+        raise LockingError("PPI and constant lists must have equal length")
+    leaves = []
+    for i, (ppi, value) in enumerate(zip(ppis, constants)):
+        name = f"{prefix}_m{i}"
+        circuit.add_gate(name, GateType.BUF if value else GateType.NOT, (ppi,))
+        leaves.append(name)
+    return build_tree(circuit, f"{prefix}_and", GateType.AND, leaves, rng)
+
+
+def add_key_comparator(circuit, prefix, ppis, keys, rng=None):
+    """Comparator ``PPI == K``; returns the root signal name.
+
+    The restore unit of TTLock/CAC: XNOR leaves feeding an AND tree.
+    """
+    leaves = []
+    for i, (ppi, key) in enumerate(zip(ppis, keys)):
+        name = f"{prefix}_eq{i}"
+        circuit.add_gate(name, GateType.XNOR, (ppi, key))
+        leaves.append(name)
+    return build_tree(circuit, f"{prefix}_and", GateType.AND, leaves, rng)
+
+
+def pick_flip_output(circuit, rng=None):
+    """Choose the primary output to corrupt.
+
+    Deterministically prefers the output with the largest fan-in cone (the
+    most behavior-rich point to corrupt, and the choice used throughout
+    the experiments); a seeded ``rng`` breaks ties.
+    """
+    from ..netlist.cone import transitive_fanin
+
+    best_name = None
+    best_size = -1
+    for out in circuit.outputs:
+        size = len(transitive_fanin(circuit, [out]))
+        if size > best_size:
+            best_name, best_size = out, size
+    if best_name is None:
+        raise LockingError("circuit has no outputs to corrupt")
+    return best_name

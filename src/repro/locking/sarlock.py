@@ -1,0 +1,81 @@
+"""SARLock: SAT-attack-resistant logic locking (Yasin et al., HOST 2016).
+
+Paper reference [4].  The locking unit (Fig. 3a of the KRATT paper) is a
+comparator between the protected primary inputs and the key inputs, ANDed
+with a *mask* over the key inputs that disables corruption for the secret
+key::
+
+    flip = (PPI == K) AND (K != K*)            # K* hardwired in the mask
+    LPO  = OPO XOR flip
+
+The mask-on-key construction follows the paper's own worked example
+(Fig. 5a: the 3-input NOR over key inputs "always generates logic 0 ...
+when k3k2k1 = 100").  Under the correct key ``K = K*`` the mask is 0, so
+``flip`` is constant — exactly the property KRATT's QBF formulation
+targets — and the secret key is the *unique* constant-making assignment.
+Every wrong key corrupts exactly one input pattern (``PPI == K``),
+forcing the SAT attack into one DIP per wrong key.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist.gate import GateType
+from .base import (
+    LockedCircuit,
+    build_tree,
+    choose_protected_inputs,
+    insert_output_flip,
+)
+from .keys import fresh_key_names, random_key
+from .pointfunc import add_hardwired_comparator, pick_flip_output
+
+__all__ = ["lock_sarlock"]
+
+
+def lock_sarlock(original, key_width, seed=0, flip_output=None):
+    """Lock ``original`` with SARLock using ``key_width`` key inputs.
+
+    Returns a :class:`LockedCircuit` whose ``correct_key`` is the unique
+    constant-making key.
+    """
+    rng = random.Random(("sarlock", seed, original.name).__str__())
+    locked = original.copy(f"{original.name}_sarlock")
+    ppis = choose_protected_inputs(locked, key_width, rng)
+    keys = fresh_key_names(key_width)
+    for key in keys:
+        locked.add_input(key)
+    secret = random_key(keys, rng)
+
+    prefix = "sarl"
+    # Comparator PPI == K.
+    eq_leaves = []
+    for i, (ppi, key) in enumerate(zip(ppis, keys)):
+        name = f"{prefix}_eq{i}"
+        locked.add_gate(name, GateType.XNOR, (ppi, key))
+        eq_leaves.append(name)
+    cmp_root = build_tree(locked, f"{prefix}_cmp", GateType.AND, eq_leaves, rng)
+
+    # Mask over the key inputs: 1 unless K equals the hardwired secret.
+    constants = [secret[k] for k in keys]
+    match_root = add_hardwired_comparator(locked, f"{prefix}_sec", keys, constants, rng)
+    locked.add_gate(f"{prefix}_mask", GateType.NOT, (match_root,))
+
+    flip = f"{prefix}_flip"
+    locked.add_gate(flip, GateType.AND, (cmp_root, f"{prefix}_mask"))
+
+    target = flip_output or pick_flip_output(original)
+    insert_output_flip(locked, target, flip)
+
+    return LockedCircuit(
+        circuit=locked,
+        key_inputs=keys,
+        correct_key=secret,
+        original=original,
+        technique="sarlock",
+        protected_inputs=ppis,
+        key_of_ppi={ppi: (key,) for ppi, key in zip(ppis, keys)},
+        critical_signal=flip,
+        metadata={"flip_output": target},
+    )

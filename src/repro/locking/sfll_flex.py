@@ -1,0 +1,99 @@
+"""SFLL-Flex: stripped functionality with a flexible cube store
+(Yasin et al., CCS 2017 — paper reference [9], discussed in Section V).
+
+SFLL-Flex^(c x k) strips ``c`` protected input cubes from the design and
+restores them from a small content-addressable store holding the cubes as
+key material::
+
+    fsc = OPO XOR (PPI in {s_1, ..., s_c})          # cubes hardwired away
+    LPO = fsc XOR (PPI matches any stored cube K_i)  # c*k key inputs
+
+In deployments the cube store sits in read-proof hardware, so the KRATT
+paper's Section V argues no attack can name the key — but KRATT's
+structural analysis still finds every protected pattern, and the original
+circuit can be rebuilt from the FSC "using a comparator and XOR logic"
+(:func:`repro.attacks.removal.reconstruct_original` implements exactly
+that).  This module provides the technique so that claim is testable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist.gate import GateType
+from .base import LockedCircuit, build_tree, choose_protected_inputs, insert_output_flip
+from .keys import fresh_key_names
+from .pointfunc import add_hardwired_comparator, add_key_comparator, pick_flip_output
+
+__all__ = ["lock_sfll_flex"]
+
+
+def lock_sfll_flex(original, key_width, cubes=2, seed=0, flip_output=None):
+    """Lock ``original`` with SFLL-Flex using ``cubes`` stored cubes.
+
+    ``key_width`` is the cube width ``k`` (number of protected inputs);
+    the locked circuit carries ``cubes * k`` key inputs (the cube store).
+    The designated secret key is the concatenation of the protected
+    cubes.  Cubes are distinct by construction.
+    """
+    if cubes < 1:
+        raise ValueError("SFLL-Flex needs at least one cube")
+    rng = random.Random(("sfll_flex", seed, cubes, original.name).__str__())
+    locked = original.copy(f"{original.name}_sfllflex{cubes}")
+    ppis = choose_protected_inputs(locked, key_width, rng)
+    keys = fresh_key_names(cubes * key_width)
+    for key in keys:
+        locked.add_input(key)
+    target = flip_output or pick_flip_output(original)
+
+    # Distinct protected cubes.
+    patterns = set()
+    while len(patterns) < cubes:
+        patterns.add(tuple(bool(rng.getrandbits(1)) for _ in range(key_width)))
+    patterns = sorted(patterns)
+
+    # Perturb unit: flip at every protected cube.
+    perturb_roots = []
+    for idx, pattern in enumerate(patterns):
+        root = add_hardwired_comparator(
+            locked, f"sfx_p{idx}", ppis, list(pattern), rng
+        )
+        perturb_roots.append(root)
+    if len(perturb_roots) == 1:
+        perturb = perturb_roots[0]
+    else:
+        perturb = build_tree(locked, "sfx_por", GateType.OR, perturb_roots, rng)
+    insert_output_flip(locked, target, perturb)
+
+    # Restore unit: match against any stored cube.
+    secret = {}
+    restore_roots = []
+    key_of_ppi = {ppi: [] for ppi in ppis}
+    for idx, pattern in enumerate(patterns):
+        cube_keys = keys[idx * key_width:(idx + 1) * key_width]
+        for ppi, key, bit in zip(ppis, cube_keys, pattern):
+            secret[key] = bit
+            key_of_ppi[ppi].append(key)
+        restore_roots.append(
+            add_key_comparator(locked, f"sfx_r{idx}", ppis, cube_keys, rng)
+        )
+    if len(restore_roots) == 1:
+        restore = restore_roots[0]
+    else:
+        restore = build_tree(locked, "sfx_ror", GateType.OR, restore_roots, rng)
+    insert_output_flip(locked, target, restore)
+
+    return LockedCircuit(
+        circuit=locked,
+        key_inputs=keys,
+        correct_key=secret,
+        original=original,
+        technique="sfll_flex",
+        protected_inputs=ppis,
+        key_of_ppi={ppi: tuple(ks) for ppi, ks in key_of_ppi.items()},
+        critical_signal=restore,
+        metadata={
+            "flip_output": target,
+            "cubes": [dict(zip(ppis, p)) for p in patterns],
+        },
+    )

@@ -1,0 +1,89 @@
+"""SFLL-HD: stripped-functionality logic locking with a Hamming-distance
+restore unit (Yasin et al., CCS 2017).
+
+Paper reference [9].  SFLL-HD generalizes TTLock: the perturb unit flips
+the output for every input whose protected bits lie at Hamming distance
+exactly ``h`` from the hardwired secret, and the restore unit repairs the
+flip for inputs at distance ``h`` from the *key*::
+
+    fsc = OPO XOR ( HD(PPI, s) == h )
+    LPO = fsc XOR ( HD(PPI, K) == h )
+
+``h = 0`` degenerates to TTLock.  The HeLLO: CTF'22 circuits attacked in
+Table V of the KRATT paper are SFLL-locked; this module provides the
+technique for the size-matched reproductions in ``repro.benchgen.hello``.
+
+For KRATT: both QBF instances are UNSAT; the restore unit fires exactly
+at ``HD(PPI,K) == h``, which the classification step detects by probing
+distances (``repro.attacks.kratt.removal.classify_restore_unit``); and
+the OG path collects protected patterns (FSC/oracle mismatches) and
+SAT-solves the secret from the ``HD(p_i, s) == h`` constraint system.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist.blocks import add_equals_const, add_popcount
+from ..netlist.gate import GateType
+from .base import LockedCircuit, choose_protected_inputs, insert_output_flip
+from .keys import fresh_key_names, random_key
+from .pointfunc import pick_flip_output
+
+__all__ = ["lock_sfll_hd"]
+
+
+def _distance_detector(circuit, prefix, ppis, others, h):
+    """Signal that fires iff HD(ppis, others) == h.
+
+    ``others`` is a list of key input names, or of (constant) bools for
+    the hardwired perturb side.
+    """
+    diffs = []
+    for i, (ppi, other) in enumerate(zip(ppis, others)):
+        name = f"{prefix}_d{i}"
+        if isinstance(other, bool):
+            gtype = GateType.NOT if other else GateType.BUF
+            circuit.add_gate(name, gtype, (ppi,))
+        else:
+            circuit.add_gate(name, GateType.XOR, (ppi, other))
+        diffs.append(name)
+    count = add_popcount(circuit, f"{prefix}_pc", diffs)
+    return add_equals_const(circuit, f"{prefix}_eq", count, h)
+
+
+def lock_sfll_hd(original, key_width, h=0, seed=0, flip_output=None):
+    """Lock ``original`` with SFLL-HD using ``key_width`` keys at distance ``h``."""
+    if h > key_width:
+        raise ValueError(f"h={h} exceeds key width {key_width}")
+    rng = random.Random(("sfll_hd", seed, h, original.name).__str__())
+    locked = original.copy(f"{original.name}_sfllhd{h}")
+    ppis = choose_protected_inputs(locked, key_width, rng)
+    keys = fresh_key_names(key_width)
+    for key in keys:
+        locked.add_input(key)
+    secret = random_key(keys, rng)
+    target = flip_output or pick_flip_output(original)
+
+    constants = [bool(secret[k]) for k in keys]
+    perturb = _distance_detector(locked, "sfll_p", ppis, constants, h)
+    insert_output_flip(locked, target, perturb)
+
+    restore = _distance_detector(locked, "sfll_r", ppis, list(keys), h)
+    insert_output_flip(locked, target, restore)
+
+    return LockedCircuit(
+        circuit=locked,
+        key_inputs=keys,
+        correct_key=secret,
+        original=original,
+        technique="sfll_hd",
+        protected_inputs=ppis,
+        key_of_ppi={ppi: (key,) for ppi, key in zip(ppis, keys)},
+        critical_signal=restore,
+        metadata={
+            "flip_output": target,
+            "h": h,
+            "protected_center": dict(zip(ppis, constants)),
+        },
+    )

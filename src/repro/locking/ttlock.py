@@ -1,0 +1,59 @@
+"""TTLock: tenacious and traceless logic locking (Yasin et al., GLSVLSI'17).
+
+Paper reference [8].  TTLock is the archetypal double flip locking
+technique (DFLT, Fig. 1b of the KRATT paper)::
+
+    perturb : fsc = OPO XOR (PPI == s)        # s hardwired, merged away
+    restore : LPO = fsc XOR (PPI == K)        # cs1 = restore comparator
+
+The *functionality stripped circuit* (FSC) differs from the original at
+exactly the protected pattern ``s``; the restore unit repairs it only
+under the correct key ``K == s``.  The restore unit is a pure comparator,
+so both KRATT QBF instances are UNSAT — removal alone cannot break it —
+and the attack proceeds to structural analysis (the perturb comparator is
+a logic cone supported solely by PPIs inside the FSC).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import LockedCircuit, choose_protected_inputs, insert_output_flip
+from .keys import fresh_key_names, random_key
+from .pointfunc import add_hardwired_comparator, add_key_comparator, pick_flip_output
+
+__all__ = ["lock_ttlock"]
+
+
+def lock_ttlock(original, key_width, seed=0, flip_output=None):
+    """Lock ``original`` with TTLock using ``key_width`` key inputs."""
+    rng = random.Random(("ttlock", seed, original.name).__str__())
+    locked = original.copy(f"{original.name}_ttlock")
+    ppis = choose_protected_inputs(locked, key_width, rng)
+    keys = fresh_key_names(key_width)
+    for key in keys:
+        locked.add_input(key)
+    secret = random_key(keys, rng)
+    target = flip_output or pick_flip_output(original)
+
+    # Perturb unit: corrupt the output at PPI == s (s hardwired).
+    constants = [secret[k] for k in keys]
+    perturb = add_hardwired_comparator(locked, "ttl_p", ppis, constants, rng)
+    insert_output_flip(locked, target, perturb)
+
+    # Restore unit: correct the corruption at PPI == K.
+    restore = add_key_comparator(locked, "ttl_r", ppis, keys, rng)
+    insert_output_flip(locked, target, restore)
+
+    return LockedCircuit(
+        circuit=locked,
+        key_inputs=keys,
+        correct_key=secret,
+        original=original,
+        technique="ttlock",
+        protected_inputs=ppis,
+        key_of_ppi={ppi: (key,) for ppi, key in zip(ppis, keys)},
+        critical_signal=restore,
+        metadata={"flip_output": target, "protected_pattern": dict(
+            zip(ppis, constants))},
+    )

@@ -1,0 +1,74 @@
+"""Traditional XOR/XNOR key-gate locking (EPIC-style random logic locking).
+
+Not SAT-resilient — the classic SAT attack [3] breaks it in a handful of
+DIPs — which is precisely why the reproduction carries it: baseline
+attacks need a technique they *can* break (sanity tests, AppSAT's
+approximate-recovery behaviour, and the quickstart example).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist.gate import GateType
+from .base import LockedCircuit, LockingError
+from .keys import fresh_key_names
+
+__all__ = ["lock_xor"]
+
+
+def lock_xor(original, key_width, seed=0):
+    """Insert ``key_width`` XOR/XNOR key gates on random internal wires.
+
+    Each key gate re-drives one internal signal: ``w' = w XOR k`` (correct
+    key bit 0) or ``w' = w XNOR k`` (correct key bit 1), with the choice
+    of polarity random.  Wires are chosen among gate outputs that are not
+    primary outputs, without repetition.
+    """
+    from ..netlist.cone import transitive_fanin
+
+    rng = random.Random(("xorlock", seed, original.name).__str__())
+    locked = original.copy(f"{original.name}_xorlock")
+    live = transitive_fanin(locked, list(locked.outputs))
+    candidates = [
+        g.name
+        for g in locked.gates()
+        if g.name in live
+        and g.name not in set(locked.outputs)
+        and not g.is_constant
+    ]
+    if len(candidates) < key_width:
+        raise LockingError(
+            f"host has only {len(candidates)} lockable wires, need {key_width}"
+        )
+    rng.shuffle(candidates)
+    wires = sorted(candidates[:key_width])
+    keys = fresh_key_names(key_width)
+    secret = {}
+    fanout = locked.fanout_map()
+
+    for key, wire in zip(keys, wires):
+        locked.add_input(key)
+        invert = bool(rng.getrandbits(1))
+        secret[key] = invert
+        gtype = GateType.XNOR if invert else GateType.XOR
+        new_sig = f"{wire}$klg_{key}"
+        locked.add_gate(new_sig, gtype, (wire, key))
+        for sink_name in fanout[wire]:
+            sink = locked.gate(sink_name)
+            fanins = tuple(new_sig if s == wire else s for s in sink.fanins)
+            locked._gates[sink_name] = type(sink)(sink.name, sink.gtype, fanins)
+        locked._invalidate()
+
+    locked.validate()
+    return LockedCircuit(
+        circuit=locked,
+        key_inputs=keys,
+        correct_key=secret,
+        original=original,
+        technique="xor_lock",
+        protected_inputs=(),
+        key_of_ppi={},
+        critical_signal="",
+        metadata={"wires": wires},
+    )

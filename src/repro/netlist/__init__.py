@@ -1,0 +1,60 @@
+"""Gate-level netlist substrate: circuits, BENCH I/O, simulation, cones."""
+
+from .bench import parse_bench, parse_bench_file, write_bench, write_bench_file
+from .circuit import Circuit
+from .cone import (
+    cones_with_support_within,
+    extract_cone,
+    reachable_outputs,
+    remove_cone,
+    support,
+    transitive_fanin,
+    transitive_fanout,
+)
+from .errors import CircuitStructureError, EvaluationError, NetlistError, ParseError
+from .gate import Gate, GateType
+from .simulate import (
+    exhaustive_patterns,
+    outputs_differ,
+    pack_patterns,
+    random_patterns,
+    simulate_exhaustive,
+    simulate_patterns,
+    simulate_random,
+    unpack_word,
+)
+from .strash import structural_hash
+from .verify import build_miter, check_equivalent, prove_signal_constant
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "GateType",
+    "NetlistError",
+    "ParseError",
+    "CircuitStructureError",
+    "EvaluationError",
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "write_bench_file",
+    "transitive_fanin",
+    "transitive_fanout",
+    "support",
+    "extract_cone",
+    "remove_cone",
+    "reachable_outputs",
+    "cones_with_support_within",
+    "exhaustive_patterns",
+    "pack_patterns",
+    "unpack_word",
+    "simulate_patterns",
+    "simulate_exhaustive",
+    "simulate_random",
+    "random_patterns",
+    "outputs_differ",
+    "structural_hash",
+    "build_miter",
+    "check_equivalent",
+    "prove_signal_constant",
+]

@@ -1,0 +1,153 @@
+"""Reader and writer for the ISCAS/ITC ``.bench`` netlist format.
+
+The format, as used by the ISCAS'85, ISCAS'89 and ITC'99 benchmark suites
+and by logic-locking tool releases (including the original KRATT release),
+looks like::
+
+    # comment
+    INPUT(G1)
+    INPUT(G2)
+    OUTPUT(G17)
+    G10 = NAND(G1, G2)
+    G17 = NOT(G10)
+
+This module supports the combinational subset (no DFF), with constants
+``CONST0``/``CONST1`` written as ``vdd``/``gnd`` aliases accepted on read.
+Key inputs are by convention named with a configurable prefix
+(``keyinput`` in most locking benchmark releases).
+"""
+
+from __future__ import annotations
+
+import re
+
+from .circuit import Circuit
+from .errors import ParseError
+from .gate import GateType
+
+__all__ = ["parse_bench", "parse_bench_file", "write_bench", "write_bench_file"]
+
+_INPUT_RE = re.compile(r"^INPUT\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
+_OUTPUT_RE = re.compile(r"^OUTPUT\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
+_ASSIGN_RE = re.compile(
+    r"^([^\s=()]+)\s*=\s*([A-Za-z01]+)\s*\(\s*([^()]*)\s*\)$"
+)
+_CONST_RE = re.compile(r"^([^\s=()]+)\s*=\s*(vdd|gnd|1|0)$", re.IGNORECASE)
+
+_TYPE_ALIASES = {
+    "AND": GateType.AND,
+    "OR": GateType.OR,
+    "NAND": GateType.NAND,
+    "NOR": GateType.NOR,
+    "XOR": GateType.XOR,
+    "XNOR": GateType.XNOR,
+    "NOT": GateType.NOT,
+    "INV": GateType.NOT,
+    "BUF": GateType.BUF,
+    "BUFF": GateType.BUF,
+    "CONST0": GateType.CONST0,
+    "CONST1": GateType.CONST1,
+}
+
+
+def parse_bench(text, name="circuit"):
+    """Parse ``.bench`` text into a validated :class:`Circuit`.
+
+    Raises :class:`~repro.netlist.errors.ParseError` with line context on
+    malformed input and :class:`CircuitStructureError` on structural
+    problems (cycles, undefined signals).
+    """
+    circuit = Circuit(name)
+    outputs = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        m = _INPUT_RE.match(line)
+        if m:
+            try:
+                circuit.add_input(m.group(1))
+            except Exception as exc:
+                raise ParseError(str(exc), line_no, raw) from None
+            continue
+
+        m = _OUTPUT_RE.match(line)
+        if m:
+            outputs.append(m.group(1))
+            continue
+
+        m = _CONST_RE.match(line)
+        if m:
+            value = m.group(2).lower()
+            gtype = GateType.CONST1 if value in ("vdd", "1") else GateType.CONST0
+            try:
+                circuit.add_gate(m.group(1), gtype, ())
+            except Exception as exc:
+                raise ParseError(str(exc), line_no, raw) from None
+            continue
+
+        m = _ASSIGN_RE.match(line)
+        if m:
+            target, type_name, arg_text = m.groups()
+            gtype = _TYPE_ALIASES.get(type_name.upper())
+            if gtype is None:
+                raise ParseError(f"unknown gate type {type_name!r}", line_no, raw)
+            fanins = tuple(a.strip() for a in arg_text.split(",") if a.strip())
+            try:
+                circuit.add_gate(target, gtype, fanins)
+            except Exception as exc:
+                raise ParseError(str(exc), line_no, raw) from None
+            continue
+
+        raise ParseError("unrecognized statement", line_no, raw)
+
+    circuit.set_outputs(outputs)
+    circuit.validate()
+    return circuit
+
+
+def parse_bench_file(path, name=None):
+    """Parse a ``.bench`` file from disk."""
+    with open(path) as handle:
+        text = handle.read()
+    if name is None:
+        name = str(path).rsplit("/", 1)[-1].removesuffix(".bench")
+    return parse_bench(text, name=name)
+
+
+def write_bench(circuit, header=None):
+    """Serialize a circuit to ``.bench`` text (topologically ordered)."""
+    lines = []
+    lines.append(f"# {circuit.name}")
+    if header:
+        for extra in header.splitlines():
+            lines.append(f"# {extra}")
+    lines.append(
+        f"# {len(circuit.inputs)} inputs, {len(circuit.outputs)} outputs, "
+        f"{circuit.num_gates} gates"
+    )
+    for name in circuit.inputs:
+        lines.append(f"INPUT({name})")
+    for name in circuit.outputs:
+        lines.append(f"OUTPUT({name})")
+    lines.append("")
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.is_input:
+            continue
+        if gate.gtype is GateType.CONST0:
+            lines.append(f"{name} = CONST0()")
+        elif gate.gtype is GateType.CONST1:
+            lines.append(f"{name} = CONST1()")
+        else:
+            args = ", ".join(gate.fanins)
+            lines.append(f"{name} = {gate.gtype.value}({args})")
+    return "\n".join(lines) + "\n"
+
+
+def write_bench_file(circuit, path, header=None):
+    """Write a circuit to a ``.bench`` file on disk."""
+    with open(path, "w") as handle:
+        handle.write(write_bench(circuit, header=header))
+    return path

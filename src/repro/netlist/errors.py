@@ -1,0 +1,34 @@
+"""Exception types raised by the netlist subsystem."""
+
+
+class NetlistError(Exception):
+    """Base class for all netlist-related errors."""
+
+
+class ParseError(NetlistError):
+    """Raised when a ``.bench`` file cannot be parsed.
+
+    Carries the line number and offending text so callers can report
+    actionable diagnostics.
+    """
+
+    def __init__(self, message, line_no=None, line=None):
+        self.line_no = line_no
+        self.line = line
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        if line is not None:
+            message = f"{message!s} [{line.strip()!r}]"
+        super().__init__(message)
+
+
+class CircuitStructureError(NetlistError):
+    """Raised when a circuit violates a structural invariant.
+
+    Examples: combinational cycles, references to undefined signals,
+    duplicate definitions, or outputs that do not exist.
+    """
+
+
+class EvaluationError(NetlistError):
+    """Raised when a circuit cannot be evaluated with the given inputs."""

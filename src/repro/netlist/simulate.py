@@ -1,0 +1,144 @@
+"""Bit-parallel simulation helpers.
+
+Signal words pack one bit per input pattern, so a single pass over the
+netlist evaluates up to thousands of patterns.  These helpers build the
+packed input words for common sweeps (exhaustive, random, explicit pattern
+lists) and unpack results.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "exhaustive_patterns",
+    "pack_patterns",
+    "unpack_word",
+    "simulate_patterns",
+    "random_patterns",
+    "simulate_exhaustive",
+    "simulate_random",
+    "outputs_differ",
+]
+
+
+def exhaustive_patterns(names):
+    """Packed words enumerating all ``2**len(names)`` assignments.
+
+    Pattern ``j`` assigns to ``names[i]`` the ``i``-th bit of ``j``; the
+    return value is ``(assignment, mask)`` ready for ``Circuit.evaluate``.
+    Practical for up to ~20 names.
+    """
+    n = len(names)
+    if n > 24:
+        raise ValueError(f"exhaustive simulation over {n} inputs is impractical")
+    width = 1 << n
+    mask = (1 << width) - 1
+    assignment = {}
+    for i, name in enumerate(names):
+        period = 1 << i
+        block = (1 << period) - 1
+        word = 0
+        for start in range(period, width, 2 * period):
+            word |= block << start
+        assignment[name] = word & mask
+    return assignment, mask
+
+
+def pack_patterns(names, patterns):
+    """Pack an explicit list of assignments into bit-parallel words.
+
+    ``patterns`` is a sequence of dicts (or of tuples aligned with
+    ``names``) giving scalar 0/1 values.  Returns ``(assignment, mask)``.
+    """
+    width = len(patterns)
+    mask = (1 << width) - 1 if width else 0
+    words = {name: 0 for name in names}
+    for j, pattern in enumerate(patterns):
+        if isinstance(pattern, dict):
+            for name in names:
+                if pattern[name]:
+                    words[name] |= 1 << j
+        else:
+            for name, bit in zip(names, pattern):
+                if bit:
+                    words[name] |= 1 << j
+    return words, mask
+
+
+def unpack_word(word, width):
+    """Expand a packed word into a list of ``width`` scalar bits."""
+    return [(word >> j) & 1 for j in range(width)]
+
+
+def random_patterns(names, count, rng=None):
+    """Packed words of ``count`` uniformly random assignments."""
+    rng = rng or random.Random(0)
+    mask = (1 << count) - 1
+    return {name: rng.getrandbits(count) & mask for name in names}, mask
+
+
+def simulate_patterns(circuit, patterns, defaults=None):
+    """Simulate an explicit pattern list; returns list of output dicts.
+
+    ``patterns`` may assign only a subset of inputs; remaining inputs take
+    values from ``defaults`` (scalar per input, default 0).
+    """
+    names = list(circuit.inputs)
+    width = len(patterns)
+    mask = (1 << width) - 1 if width else 0
+    defaults = defaults or {}
+    filled = []
+    for pattern in patterns:
+        full = {name: defaults.get(name, 0) for name in names}
+        full.update(pattern)
+        filled.append(full)
+    words, mask = pack_patterns(names, filled)
+    out_words = circuit.evaluate(words, mask, outputs_only=True)
+    results = []
+    for j in range(width):
+        results.append({o: (out_words[o] >> j) & 1 for o in circuit.outputs})
+    return results
+
+
+def simulate_exhaustive(circuit):
+    """Truth table of the circuit: list of output tuples, input-index order.
+
+    Entry ``j`` is the output tuple when input ``i`` carries bit ``i`` of
+    ``j`` (inputs in declaration order).  Only for small input counts.
+    """
+    assignment, mask = exhaustive_patterns(list(circuit.inputs))
+    out_words = circuit.evaluate(assignment, mask, outputs_only=True)
+    width = 1 << len(circuit.inputs)
+    return [
+        tuple((out_words[o] >> j) & 1 for o in circuit.outputs) for j in range(width)
+    ]
+
+
+def simulate_random(circuit, count, rng=None):
+    """Simulate ``count`` random patterns; returns (input words, output words)."""
+    words, mask = random_patterns(list(circuit.inputs), count, rng)
+    return words, circuit.evaluate(words, mask, outputs_only=True), mask
+
+
+def outputs_differ(circ_a, circ_b, count=256, rng=None):
+    """Random-simulation check that two same-interface circuits differ.
+
+    Returns a witness input assignment (scalar dict) where some output
+    differs, or ``None`` if no difference was observed in ``count``
+    patterns.  A ``None`` is *not* a proof of equivalence.
+    """
+    if set(circ_a.inputs) != set(circ_b.inputs):
+        raise ValueError("circuits have different input interfaces")
+    if tuple(circ_a.outputs) != tuple(circ_b.outputs):
+        raise ValueError("circuits have different output interfaces")
+    rng = rng or random.Random(1234)
+    words, mask = random_patterns(list(circ_a.inputs), count, rng)
+    outs_a = circ_a.evaluate(words, mask, outputs_only=True)
+    outs_b = circ_b.evaluate(words, mask, outputs_only=True)
+    for name in circ_a.outputs:
+        diff = outs_a[name] ^ outs_b[name]
+        if diff:
+            j = (diff & -diff).bit_length() - 1
+            return {inp: (words[inp] >> j) & 1 for inp in circ_a.inputs}
+    return None

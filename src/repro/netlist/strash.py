@@ -1,0 +1,70 @@
+"""Structural hashing: merge functionally identical gates by construction.
+
+Two gates with the same function and the same (normalized) fanin tuple
+compute the same signal; structural hashing rewires all fanout of the
+duplicate to one representative.  Resynthesis and reconstruction can
+introduce such duplicates (e.g. two hardwired comparators over the same
+literals); this pass removes them without any SAT effort, the way an AIG
+package hashes nodes on creation.
+
+Commutative gates normalize their fanin order before hashing, so
+``AND(a, b)`` and ``AND(b, a)`` merge.  Buffers forward their fanin.
+"""
+
+from __future__ import annotations
+
+from .circuit import Circuit
+from .gate import Gate, GateType
+
+__all__ = ["structural_hash"]
+
+_COMMUTATIVE = frozenset(
+    {GateType.AND, GateType.OR, GateType.NAND, GateType.NOR,
+     GateType.XOR, GateType.XNOR}
+)
+
+
+def structural_hash(circuit, name=None):
+    """Merge structurally identical gates; returns ``(circuit, merged)``.
+
+    Primary outputs keep their names (a merged output becomes a buffer of
+    the representative so the interface never changes).
+    """
+    out = Circuit(name or circuit.name)
+    for sig in circuit.inputs:
+        out.add_input(sig)
+
+    replacement = {}
+    table = {}
+    merged = 0
+    protected = set(circuit.outputs)
+
+    for sig in circuit.topological_order():
+        gate = circuit.gate(sig)
+        if gate.is_input:
+            continue
+        fanins = tuple(replacement.get(s, s) for s in gate.fanins)
+        if gate.gtype is GateType.BUF:
+            if sig in protected:
+                out._gates[sig] = Gate(sig, GateType.BUF, fanins)
+            else:
+                replacement[sig] = fanins[0]
+                merged += 1
+            continue
+        key_fanins = tuple(sorted(fanins)) if gate.gtype in _COMMUTATIVE else fanins
+        key = (gate.gtype, key_fanins)
+        existing = table.get(key)
+        if existing is not None and existing != sig:
+            merged += 1
+            if sig in protected:
+                out._gates[sig] = Gate(sig, GateType.BUF, (existing,))
+            else:
+                replacement[sig] = existing
+            continue
+        table[key] = sig
+        out._gates[sig] = Gate(sig, gate.gtype, fanins)
+
+    out._invalidate()
+    out.set_outputs(list(circuit.outputs))
+    out.validate()
+    return out, merged

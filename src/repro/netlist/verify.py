@@ -1,0 +1,160 @@
+"""Formal equivalence checking via SAT miters.
+
+Used throughout the reproduction: the resynthesis engine proves its
+rewrites function-preserving, locking tests prove correct-key equivalence,
+and KRATT verifies recovered keys.
+"""
+
+from __future__ import annotations
+
+from .circuit import Circuit
+from .gate import GateType
+
+
+def _sat_tools():
+    # Imported lazily: repro.sat.tseitin itself imports repro.netlist.gate,
+    # so a module-level import here would create an import cycle whenever
+    # repro.sat is loaded before repro.netlist.
+    from ..sat.solver import Solver
+    from ..sat.tseitin import encode_circuit
+
+    return Solver, encode_circuit
+
+__all__ = ["build_miter", "check_equivalent", "prove_signal_constant"]
+
+
+def _structurally_shared(circ_a, circ_b):
+    """Signals with identical definitions (recursively) in both circuits.
+
+    Locked circuits embed the host netlist verbatim, so sharing these
+    cones instead of duplicating them turns the equivalence proof into a
+    proof about the (small) locking logic only — the poor man's SAT
+    sweeping, and the reason key verification stays fast on large hosts.
+    """
+    shared = set()
+    for sig in circ_a.topological_order():
+        if sig not in circ_b:
+            continue
+        gate_a = circ_a.gate(sig)
+        gate_b = circ_b.gate(sig)
+        if gate_a.gtype is not gate_b.gtype or gate_a.fanins != gate_b.fanins:
+            continue
+        if all(s in shared for s in gate_a.fanins):
+            shared.add(sig)
+    return shared
+
+
+def build_miter(circ_a, circ_b, name="miter", share_common=True):
+    """Build a miter circuit: output 1 iff the two circuits differ.
+
+    Both circuits must have identical input sets and identical output
+    lists.  Inputs are shared (as are structurally identical internal
+    cones when ``share_common`` is set); remaining internal signals are
+    prefixed to avoid collisions; each output pair is XORed and the XORs
+    are ORed into the single output ``miter_out``.
+    """
+    if set(circ_a.inputs) != set(circ_b.inputs):
+        raise ValueError("miter requires identical input interfaces")
+    if list(circ_a.outputs) != list(circ_b.outputs):
+        raise ValueError("miter requires identical output lists")
+
+    shared = set(circ_a.inputs)
+    if share_common:
+        shared |= _structurally_shared(circ_a, circ_b)
+    copy_a = circ_a.with_prefix("A$", keep=shared)
+    copy_b = circ_b.with_prefix("B$", keep=shared)
+
+    miter = Circuit(name)
+    for sig in circ_a.inputs:
+        miter.add_input(sig)
+    for src in (copy_a, copy_b):
+        for gate in src.gates():
+            miter._gates[gate.name] = gate
+    miter._invalidate()
+
+    diff_signals = []
+    for out in circ_a.outputs:
+        diff = f"diff${out}"
+        a_sig = "A$" + out if out not in shared else out
+        b_sig = "B$" + out if out not in shared else out
+        miter.add_gate(diff, GateType.XOR, (a_sig, b_sig))
+        diff_signals.append(diff)
+
+    if len(diff_signals) == 1:
+        miter.add_gate("miter_out", GateType.BUF, (diff_signals[0],))
+    else:
+        miter.add_gate("miter_out", GateType.OR, tuple(diff_signals))
+    miter.set_outputs(["miter_out"])
+    miter.validate()
+    return miter
+
+
+def check_equivalent(
+    circ_a, circ_b, assumptions=None, max_conflicts=None, time_limit=None
+):
+    """SAT equivalence check.
+
+    Returns ``(verdict, counterexample)`` where ``verdict`` is ``True``
+    (proven equivalent), ``False`` (differ; counterexample is an input
+    assignment exposing the difference), or ``None`` (budget exhausted).
+
+    ``assumptions`` optionally pins shared inputs (dict name -> bool), to
+    check equivalence under a fixed key, for example.
+    """
+    Solver, encode_circuit = _sat_tools()
+    miter = build_miter(circ_a, circ_b)
+    solver = Solver()
+    cnf, varmap = encode_circuit(miter)
+    cnf.add_clause([varmap["miter_out"]])
+    if not solver.add_cnf(cnf):
+        return True, None
+
+    assume_lits = []
+    for name, value in (assumptions or {}).items():
+        var = varmap[name]
+        assume_lits.append(var if value else -var)
+
+    status = solver.solve(
+        assume_lits, max_conflicts=max_conflicts, time_limit=time_limit
+    )
+    if status is False:
+        return True, None
+    if status is None:
+        return None, None
+    model = solver.model()
+    cex = {name: model.get(varmap[name], False) for name in miter.inputs}
+    return False, cex
+
+
+def prove_signal_constant(
+    circuit, signal, value, fixed_inputs=None, max_conflicts=None, time_limit=None
+):
+    """Prove an internal signal is constant for all free input values.
+
+    ``fixed_inputs`` pins some inputs (e.g. the key) while the rest range
+    freely.  Returns ``(verdict, counterexample)`` like
+    :func:`check_equivalent`: ``True`` means ``signal == value`` always.
+    """
+    Solver, encode_circuit = _sat_tools()
+    solver = Solver()
+    cnf, varmap = encode_circuit(circuit)
+    sig_var = varmap[signal]
+    cnf.add_clause([-sig_var if value else sig_var])
+    if not solver.add_cnf(cnf):
+        return True, None
+
+    assume_lits = []
+    for name, val in (fixed_inputs or {}).items():
+        var = varmap[name]
+        assume_lits.append(var if val else -var)
+
+    status = solver.solve(
+        assume_lits, max_conflicts=max_conflicts, time_limit=time_limit
+    )
+    if status is False:
+        return True, None
+    if status is None:
+        return None, None
+    model = solver.model()
+    cex = {name: model.get(varmap[name], False) for name in circuit.inputs}
+    return False, cex

@@ -1,0 +1,19 @@
+"""QBF subsystem: prenex formulas, QDIMACS I/O, and 2QBF CEGAR solving."""
+
+from .formula import EXISTS, FORALL, QBF
+from .solver import (
+    QBFResult,
+    circuit_to_qbf,
+    solve_2qbf,
+    solve_exists_forall_circuit,
+)
+
+__all__ = [
+    "EXISTS",
+    "FORALL",
+    "QBF",
+    "QBFResult",
+    "circuit_to_qbf",
+    "solve_2qbf",
+    "solve_exists_forall_circuit",
+]

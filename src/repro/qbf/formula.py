@@ -1,0 +1,111 @@
+"""Quantified Boolean formula representation and QDIMACS I/O.
+
+KRATT's QBF instances are 2QBF: an existential block (the key inputs)
+followed by a universal block (the protected primary inputs) over a CNF
+matrix obtained from the locking unit by Tseitin encoding.  Tseitin
+auxiliary variables form a trailing existential block, which preserves
+satisfiability because they are functionally determined by the circuit
+inputs.
+"""
+
+from __future__ import annotations
+
+from ..sat.cnf import CNF
+
+__all__ = ["QBF", "EXISTS", "FORALL"]
+
+EXISTS = "e"
+FORALL = "a"
+
+
+class QBF:
+    """A prenex-CNF quantified Boolean formula.
+
+    ``prefix`` is a list of ``(quantifier, variables)`` blocks in outermost
+    to innermost order; ``matrix`` is a :class:`CNF`.  Variables absent
+    from the prefix are treated as innermost-existential (the QDIMACS
+    convention for free Tseitin variables in this codebase).
+    """
+
+    def __init__(self, matrix=None):
+        self.prefix = []
+        self.matrix = matrix if matrix is not None else CNF()
+
+    def add_block(self, quantifier, variables):
+        """Append a quantifier block; merges with the previous if same kind."""
+        if quantifier not in (EXISTS, FORALL):
+            raise ValueError(f"unknown quantifier {quantifier!r}")
+        variables = list(variables)
+        if not variables:
+            return
+        if self.prefix and self.prefix[-1][0] == quantifier:
+            self.prefix[-1][1].extend(variables)
+        else:
+            self.prefix.append((quantifier, variables))
+
+    def quantified_vars(self):
+        out = set()
+        for _, block in self.prefix:
+            out.update(block)
+        return out
+
+    def free_vars(self):
+        """Matrix variables not bound by the prefix."""
+        bound = self.quantified_vars()
+        seen = set()
+        for clause in self.matrix.clauses:
+            for lit in clause:
+                var = abs(lit)
+                if var not in bound:
+                    seen.add(var)
+        return seen
+
+    def close(self):
+        """Bind free variables in an innermost existential block."""
+        free = sorted(self.free_vars())
+        if free:
+            self.add_block(EXISTS, free)
+        return self
+
+    # ------------------------------------------------------------------
+    # QDIMACS
+    # ------------------------------------------------------------------
+    def to_qdimacs(self):
+        """Serialize to QDIMACS text (as consumed by DepQBF et al.)."""
+        lines = [f"p cnf {self.matrix.num_vars} {len(self.matrix.clauses)}"]
+        for quantifier, block in self.prefix:
+            lines.append(f"{quantifier} " + " ".join(str(v) for v in block) + " 0")
+        for clause in self.matrix.clauses:
+            lines.append(" ".join(str(l) for l in clause) + " 0")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_qdimacs(cls, text):
+        """Parse QDIMACS text into a :class:`QBF`."""
+        qbf = cls()
+        declared_vars = 0
+        for raw in text.splitlines():
+            line = raw.strip()
+            if not line or line.startswith("c"):
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) >= 3:
+                    declared_vars = int(parts[2])
+                continue
+            if line[0] in (EXISTS, FORALL):
+                tokens = line[1:].split()
+                variables = [int(t) for t in tokens if t != "0"]
+                qbf.add_block(line[0], variables)
+                continue
+            literals = [int(tok) for tok in line.split()]
+            if literals and literals[-1] == 0:
+                literals = literals[:-1]
+            if literals:
+                qbf.matrix.add_clause(literals)
+        qbf.matrix.num_vars = max(qbf.matrix.num_vars, declared_vars)
+        return qbf
+
+    def __repr__(self):
+        shape = "".join(q for q, _ in self.prefix)
+        return f"QBF(prefix={shape!r}, vars={self.matrix.num_vars}, clauses={len(self.matrix.clauses)})"

@@ -1,0 +1,356 @@
+"""2QBF solving via counterexample-guided abstraction refinement (CEGAR).
+
+This module is the reproduction's stand-in for DepQBF [29].  KRATT only
+ever poses formulas of the shape::
+
+    EXISTS K . FORALL PPI . unit(PPI, K) == c
+
+so we provide a *circuit-level* CEGAR solver: a candidate SAT solver
+proposes key assignments, a verifier SAT solver searches for a universal
+counterexample, and each counterexample is fed back by instantiating a
+fresh copy of the circuit at that universal assignment.  For complementary
+point-function locking units the loop converges in a handful of
+iterations, matching the paper's observation that the QBF step finishes in
+under a minute (here: milliseconds).
+
+A generic prenex 2QBF entry point (:func:`solve_2qbf`) using universal
+expansion over the CNF matrix is included for QDIMACS-level formulas and
+for property tests against brute force.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from ..sat.solver import Solver
+from ..sat.tseitin import encode_into_solver
+from .formula import EXISTS, FORALL, QBF
+
+__all__ = ["QBFResult", "solve_exists_forall_circuit", "solve_2qbf", "circuit_to_qbf"]
+
+
+class QBFResult:
+    """Outcome of a 2QBF solve.
+
+    Attributes
+    ----------
+    status:
+        ``True`` (satisfiable: a witness for the existential block exists),
+        ``False`` (unsatisfiable), or ``None`` (budget exhausted).
+    witness:
+        Mapping from existential variable name to bool when ``status`` is
+        ``True``.
+    iterations:
+        Number of CEGAR refinement rounds.
+    elapsed:
+        Wall-clock seconds.
+    """
+
+    def __init__(self, status, witness, iterations, elapsed):
+        self.status = status
+        self.witness = witness
+        self.iterations = iterations
+        self.elapsed = elapsed
+
+    def __bool__(self):
+        return self.status is True
+
+    def __repr__(self):
+        return (
+            f"QBFResult(status={self.status}, iterations={self.iterations}, "
+            f"elapsed={self.elapsed:.3f}s)"
+        )
+
+
+def _subgraph(circuit, gate_names, input_names):
+    """A sub-circuit containing exactly ``gate_names`` over ``input_names``."""
+    from ..netlist.circuit import Circuit
+
+    sub = Circuit(f"{circuit.name}_shared")
+    wanted = set(gate_names)
+    for name in input_names:
+        if name in circuit:
+            sub.add_input(name)
+    for name in circuit.topological_order():
+        if name in wanted:
+            sub._gates[name] = circuit.gate(name)
+    sub._invalidate()
+    return sub
+
+
+def solve_exists_forall_circuit(
+    circuit,
+    exist_inputs,
+    forall_inputs,
+    output,
+    target_value,
+    max_iterations=10_000,
+    time_limit=None,
+):
+    """Decide ``EXISTS exist . FORALL forall . circuit[output] == target``.
+
+    Parameters
+    ----------
+    circuit:
+        The (locking unit) circuit.  Its primary inputs must be exactly
+        ``exist_inputs + forall_inputs``.
+    output:
+        Name of the output signal constrained to ``target_value``.
+    target_value:
+        0 or 1.
+
+    Returns a :class:`QBFResult`; on success ``witness`` maps each
+    existential input to its value.
+    """
+    start = time.monotonic()
+    exist_inputs = list(exist_inputs)
+    forall_inputs = list(forall_inputs)
+    missing = set(exist_inputs + forall_inputs) ^ set(circuit.inputs)
+    if missing:
+        raise ValueError(f"quantifier blocks do not partition inputs: {sorted(missing)}")
+
+    # Candidate solver: owns one variable per existential input, grows one
+    # instantiated circuit copy per counterexample.
+    candidate = Solver()
+    exist_vars = {name: candidate.new_var() for name in exist_inputs}
+
+    # Signals whose support is purely existential are identical across all
+    # instantiated copies; encode them once and share their variables.
+    # (For SARLock this is the key mask — sharing it lets the candidate
+    # solver branch "mask = 0" and propagate straight to the secret key,
+    # instead of refuting wrong keys one counterexample at a time.)
+    exist_set = set(exist_inputs)
+    exist_pure = {}
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.is_input:
+            exist_pure[name] = name in exist_set
+        elif gate.is_constant:
+            exist_pure[name] = True
+        else:
+            exist_pure[name] = all(exist_pure[s] for s in gate.fanins)
+    shared_gate_names = [
+        name
+        for name in circuit.topological_order()
+        if exist_pure[name] and not circuit.gate(name).is_input
+    ]
+    shared_candidate_vars = dict(exist_vars)
+    for name in shared_gate_names:
+        shared_candidate_vars[name] = candidate.new_var()
+    # Emit the shared (key-only) gate definitions exactly once.
+    if shared_gate_names:
+        encode_into_solver(
+            candidate,
+            _subgraph(circuit, shared_gate_names, exist_set),
+            shared_candidate_vars,
+        )
+
+    # Verifier solver: full circuit with free inputs, output pinned to the
+    # *wrong* value; a model under assumptions E=e is a counterexample.
+    verifier = Solver()
+    all_vars = {name: verifier.new_var() for name in circuit.inputs}
+    out_vars = encode_into_solver(verifier, circuit, all_vars, suffix="#v")
+    out_var = out_vars[output]
+    verifier.add_clause([-out_var if target_value else out_var])
+
+    def verify_witness(key_guess, deadline):
+        assumptions = [
+            all_vars[name] if key_guess[name] else -all_vars[name]
+            for name in exist_inputs
+        ]
+        return verifier.solve(assumptions, time_limit=deadline)
+
+    # --- Dominator-constant probe -------------------------------------
+    # If some key-only internal signal r pinned to a constant provably
+    # forces the output to the target for every universal assignment
+    # (SARLock's key mask is the canonical case), then any key achieving
+    # r = v is a witness.  This resolves in two SAT calls what plain
+    # CEGAR would grind through one counterexample per wrong key.
+    fanout = circuit.fanout_map()
+    levels = circuit.levels()
+    roots = []
+    for name in shared_gate_names:
+        sinks = fanout.get(name, ())
+        if name == output or any(not exist_pure[t] for t in sinks):
+            roots.append(name)
+    # Deep key-only cones first: a SARLock-style mask is the deepest
+    # existential-only structure in the unit.
+    roots.sort(key=lambda n: -levels[n])
+    verifier_vars = {name: out_vars[name] for name in roots if name in out_vars}
+    iterations = 0
+    for root in roots[:48]:
+        rv_ver = verifier_vars.get(root)
+        if rv_ver is None:
+            continue
+        for value in (False, True):
+            if time_limit is not None and time.monotonic() - start > time_limit:
+                return QBFResult(None, None, iterations, time.monotonic() - start)
+            status = verifier.solve(
+                [rv_ver if value else -rv_ver], max_conflicts=20_000
+            )
+            if status is not False:
+                continue
+            # r == value forces the output to target; find a key doing it.
+            rv_cand = shared_candidate_vars[root]
+            status = candidate.solve([rv_cand if value else -rv_cand])
+            if status is not True:
+                continue
+            model = candidate.model()
+            key_guess = {
+                name: model.get(var, False) for name, var in exist_vars.items()
+            }
+            remaining = None
+            if time_limit is not None:
+                remaining = max(0.01, time_limit - (time.monotonic() - start))
+            if verify_witness(key_guess, remaining) is False:
+                return QBFResult(
+                    True, key_guess, iterations, time.monotonic() - start
+                )
+
+    while True:
+        if iterations >= max_iterations:
+            return QBFResult(None, None, iterations, time.monotonic() - start)
+        if time_limit is not None and time.monotonic() - start > time_limit:
+            return QBFResult(None, None, iterations, time.monotonic() - start)
+        iterations += 1
+
+        remaining = None
+        if time_limit is not None:
+            remaining = max(0.01, time_limit - (time.monotonic() - start))
+        status = candidate.solve(time_limit=remaining)
+        if status is None:
+            return QBFResult(None, None, iterations, time.monotonic() - start)
+        if status is False:
+            return QBFResult(False, None, iterations, time.monotonic() - start)
+        model = candidate.model()
+        key_guess = {name: model.get(var, False) for name, var in exist_vars.items()}
+
+        assumptions = [
+            var if key_guess[name] else -var for name, var in exist_vars.items()
+            for var in [all_vars[name]]
+        ]
+        if time_limit is not None:
+            remaining = max(0.01, time_limit - (time.monotonic() - start))
+        status = verifier.solve(assumptions, time_limit=remaining)
+        if status is None:
+            return QBFResult(None, None, iterations, time.monotonic() - start)
+        if status is False:
+            # No universal counterexample: key_guess is a true witness.
+            return QBFResult(True, key_guess, iterations, time.monotonic() - start)
+
+        vmodel = verifier.model()
+        cex = {name: vmodel.get(all_vars[name], False) for name in forall_inputs}
+
+        # Refinement: candidate must satisfy the constraint at this cex.
+        out_vars_c = encode_into_solver(
+            candidate,
+            circuit,
+            shared_candidate_vars,
+            fix=cex,
+            suffix=f"#c{iterations}",
+            skip_gates=shared_gate_names,
+        )
+        lit = out_vars_c[output]
+        candidate.add_clause([lit if target_value else -lit])
+
+
+def circuit_to_qbf(circuit, exist_inputs, forall_inputs, output, target_value):
+    """Build the explicit prenex 2QBF KRATT would hand to DepQBF.
+
+    Returns ``(qbf, varmap)`` where the prefix is
+    ``EXISTS keys . FORALL ppis . EXISTS tseitin`` and the matrix contains
+    the unit's Tseitin encoding plus the output constraint.  Useful for
+    exporting instances (QDIMACS) and for cross-checking the CEGAR engine.
+    """
+    from ..sat.tseitin import encode_circuit
+
+    cnf, varmap = encode_circuit(circuit)
+    lit = varmap[output]
+    cnf.add_clause([lit if target_value else -lit])
+    qbf = QBF(cnf)
+    qbf.add_block(EXISTS, [varmap[n] for n in exist_inputs])
+    qbf.add_block(FORALL, [varmap[n] for n in forall_inputs])
+    qbf.close()
+    return qbf, varmap
+
+
+def solve_2qbf(qbf, max_universals=20, time_limit=None):
+    """Decide a prenex ``EXISTS..FORALL..[EXISTS..]`` QBF by expansion.
+
+    The universal block is fully expanded: for every universal assignment
+    the matrix is instantiated (with fresh copies of inner-existential
+    variables) and the conjunction is handed to the SAT solver.  Intended
+    for small universal blocks (tests, QDIMACS-level checks) — KRATT's
+    production path is :func:`solve_exists_forall_circuit`.
+
+    Returns a :class:`QBFResult` whose witness maps existential *variable
+    numbers* to bools.
+    """
+    start = time.monotonic()
+    blocks = qbf.prefix
+    if not blocks or blocks[0][0] != EXISTS:
+        # Tolerate a leading universal block by prepending an empty E block.
+        blocks = [(EXISTS, [])] + list(blocks)
+    if len(blocks) > 3 or (len(blocks) >= 2 and blocks[1][0] != FORALL):
+        raise ValueError("solve_2qbf handles EXISTS-FORALL(-EXISTS) prefixes only")
+
+    outer = list(blocks[0][1])
+    universal = list(blocks[1][1]) if len(blocks) > 1 else []
+    inner = set(blocks[2][1]) if len(blocks) > 2 else set()
+    inner |= qbf.free_vars()
+
+    if len(universal) > max_universals:
+        raise ValueError(
+            f"universal block of {len(universal)} variables exceeds the "
+            f"expansion limit ({max_universals}); use the circuit-level solver"
+        )
+
+    solver = Solver()
+    outer_vars = {v: solver.new_var() for v in outer}
+    _TRUE, _FALSE = "T", "F"
+
+    for assignment in itertools.product((False, True), repeat=len(universal)):
+        umap = dict(zip(universal, assignment))
+        copy_vars = {}
+
+        def lit_map(lit):
+            var = abs(lit)
+            if var in outer_vars:
+                new = outer_vars[var]
+            elif var in umap:
+                value = umap[var] == (lit > 0)
+                return _TRUE if value else _FALSE
+            else:
+                if var not in copy_vars:
+                    copy_vars[var] = solver.new_var()
+                new = copy_vars[var]
+            return new if lit > 0 else -new
+
+        for clause in qbf.matrix.clauses:
+            mapped = []
+            satisfied = False
+            for lit in clause:
+                m = lit_map(lit)
+                if m == _TRUE:
+                    satisfied = True
+                    break
+                if m == _FALSE:
+                    continue
+                mapped.append(m)
+            if satisfied:
+                continue
+            if not mapped:
+                return QBFResult(False, None, 0, time.monotonic() - start)
+            solver.add_clause(mapped)
+        if time_limit is not None and time.monotonic() - start > time_limit:
+            return QBFResult(None, None, 0, time.monotonic() - start)
+
+    status = solver.solve(time_limit=time_limit)
+    if status is True:
+        model = solver.model()
+        witness = {v: model.get(outer_vars[v], False) for v in outer}
+        return QBFResult(True, witness, 1, time.monotonic() - start)
+    if status is False:
+        return QBFResult(False, None, 1, time.monotonic() - start)
+    return QBFResult(None, None, 1, time.monotonic() - start)

@@ -1,0 +1,20 @@
+"""SAT subsystem: CNF formulas, Tseitin encoding, and a CDCL solver.
+
+Public API::
+
+    from repro.sat import CNF, Solver, encode_circuit, solve_cnf
+"""
+
+from .cnf import CNF
+from .solver import Solver, SolveResult, solve_cnf, luby
+from .tseitin import encode_circuit, encode_gate_clauses
+
+__all__ = [
+    "CNF",
+    "Solver",
+    "SolveResult",
+    "solve_cnf",
+    "luby",
+    "encode_circuit",
+    "encode_gate_clauses",
+]

@@ -1,0 +1,137 @@
+"""Tseitin transformation: circuit to CNF.
+
+Every signal of the circuit gets a CNF variable named after it (with an
+optional prefix, so several circuit copies can live in one formula — the
+basis for miters and for the QBF counterexample loop).  Gate semantics are
+encoded with the standard Tseitin clause schemata; wide XOR/XNOR gates are
+decomposed into a chain of 2-input steps to keep clause counts linear.
+"""
+
+from __future__ import annotations
+
+from ..netlist.gate import GateType
+from .cnf import CNF
+
+__all__ = ["encode_circuit", "encode_gate_clauses", "encode_into_solver"]
+
+
+def _and_clauses(out, ins):
+    clauses = [tuple(-i for i in ins) + (out,)]
+    clauses.extend((i, -out) for i in ins)
+    return clauses
+
+
+def _or_clauses(out, ins):
+    clauses = [tuple(ins) + (-out,)]
+    clauses.extend((-i, out) for i in ins)
+    return clauses
+
+
+def _xor2_clauses(out, a, b):
+    return [(-a, -b, -out), (a, b, -out), (a, -b, out), (-a, b, out)]
+
+
+def encode_gate_clauses(cnf, gtype, out_var, in_vars):
+    """Append clauses asserting ``out_var = gtype(in_vars)`` to ``cnf``."""
+    if gtype is GateType.AND:
+        cnf.add_clauses(_and_clauses(out_var, in_vars))
+    elif gtype is GateType.NAND:
+        cnf.add_clauses(_and_clauses(-out_var, in_vars))
+    elif gtype is GateType.OR:
+        cnf.add_clauses(_or_clauses(out_var, in_vars))
+    elif gtype is GateType.NOR:
+        cnf.add_clauses(_or_clauses(-out_var, in_vars))
+    elif gtype in (GateType.XOR, GateType.XNOR):
+        acc = in_vars[0]
+        for nxt in in_vars[1:-1]:
+            step = cnf.new_var()
+            cnf.add_clauses(_xor2_clauses(step, acc, nxt))
+            acc = step
+        target = out_var if gtype is GateType.XOR else -out_var
+        cnf.add_clauses(_xor2_clauses(target, acc, in_vars[-1]))
+    elif gtype is GateType.NOT:
+        cnf.add_clause((in_vars[0], out_var))
+        cnf.add_clause((-in_vars[0], -out_var))
+    elif gtype is GateType.BUF:
+        cnf.add_clause((-in_vars[0], out_var))
+        cnf.add_clause((in_vars[0], -out_var))
+    elif gtype is GateType.CONST0:
+        cnf.add_clause((-out_var,))
+    elif gtype is GateType.CONST1:
+        cnf.add_clause((out_var,))
+    else:
+        raise ValueError(f"cannot encode gate type {gtype}")
+
+
+def encode_into_solver(solver, circuit, shared_vars, fix=None, suffix="", skip_gates=()):
+    """Encode one circuit copy directly into a :class:`Solver`.
+
+    ``shared_vars`` maps signal names that must be shared across copies
+    (primary inputs, key inputs) to existing solver variables; all other
+    signals get fresh variables (distinct per ``suffix``).  ``fix``
+    optionally pins input signals to constants.  Returns a dict with the
+    solver variable of every signal in this copy.
+
+    This is the workhorse of the incremental attacks (SAT attack, DDIP,
+    AppSAT) and the QBF CEGAR loop, which all grow one formula by
+    repeatedly instantiating circuit copies.
+    """
+    from ..netlist.gate import GateType as _GT
+
+    local = {}
+
+    def var_for(name):
+        if name in shared_vars:
+            return shared_vars[name]
+        key = name + suffix
+        if key not in local:
+            local[key] = solver.new_var()
+        return local[key]
+
+    fix = fix or {}
+    skip_gates = set(skip_gates)
+    varmap = {}
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        out_var = var_for(name)
+        varmap[name] = out_var
+        if gate.gtype is _GT.INPUT:
+            if name in fix:
+                solver.add_clause([out_var if fix[name] else -out_var])
+            continue
+        if name in skip_gates:
+            # Already defined in the solver (shared across copies).
+            continue
+        cnf = CNF()
+        cnf.num_vars = solver.num_vars
+        encode_gate_clauses(cnf, gate.gtype, out_var, [var_for(s) for s in gate.fanins])
+        solver.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            solver.add_clause(clause)
+    return varmap
+
+
+def encode_circuit(circuit, cnf=None, prefix=""):
+    """Encode a circuit into CNF; returns ``(cnf, varmap)``.
+
+    ``varmap`` maps each signal name (unprefixed) to its CNF variable.  If
+    an existing ``cnf`` is supplied, variables named ``prefix + signal``
+    are reused when already allocated — sharing inputs between copies is
+    achieved by encoding both copies with prefixes that agree on the
+    shared names.
+    """
+    cnf = cnf if cnf is not None else CNF()
+    varmap = {}
+    for name in circuit.topological_order():
+        varmap[name] = cnf.new_var(prefix + name)
+    for name in circuit.topological_order():
+        gate = circuit.gate(name)
+        if gate.gtype is GateType.INPUT:
+            continue
+        encode_gate_clauses(
+            cnf,
+            gate.gtype,
+            varmap[name],
+            [varmap[s] for s in gate.fanins],
+        )
+    return cnf, varmap

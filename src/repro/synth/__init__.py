@@ -1,0 +1,35 @@
+"""Synthesis substrate: constant propagation, rewrites, resynthesis, sweeping."""
+
+from .constprop import (
+    CircuitFeatures,
+    circuit_features,
+    dead_code_eliminate,
+    propagate_constants,
+)
+from .resynth import resynthesize
+from .rewrite import (
+    anonymize_internals,
+    demorgan_sample,
+    flatten_and_rebalance,
+    merge_inverter_pairs,
+    sweep_buffers,
+    xor_decompose_sample,
+)
+from .sweep import implication_simplify, simplification_region, simulation_observations
+
+__all__ = [
+    "CircuitFeatures",
+    "circuit_features",
+    "dead_code_eliminate",
+    "propagate_constants",
+    "resynthesize",
+    "anonymize_internals",
+    "demorgan_sample",
+    "flatten_and_rebalance",
+    "merge_inverter_pairs",
+    "sweep_buffers",
+    "xor_decompose_sample",
+    "implication_simplify",
+    "simplification_region",
+    "simulation_observations",
+]

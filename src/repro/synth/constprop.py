@@ -1,0 +1,238 @@
+"""Constant propagation, folding, and dead-code elimination.
+
+This is the engine behind the SCOPE attack (which compares how much a
+netlist simplifies when a key bit is pinned to 0 versus 1) and a helper
+pass for the resynthesizer.  Folding is frontier-based: only the fanout
+cone of the pinned signals is visited, so pinning one key input of a
+20k-gate netlist costs time proportional to the affected region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netlist.circuit import Circuit
+from ..netlist.gate import Gate, GateType
+from ..netlist.simulate import random_patterns
+
+__all__ = [
+    "propagate_constants",
+    "dead_code_eliminate",
+    "circuit_features",
+    "CircuitFeatures",
+]
+
+_IDENTITY = {
+    GateType.AND: 1,
+    GateType.NAND: 1,
+    GateType.OR: 0,
+    GateType.NOR: 0,
+    GateType.XOR: 0,
+    GateType.XNOR: 0,
+}
+
+_ABSORBING = {
+    GateType.AND: (0, GateType.CONST0),
+    GateType.NAND: (0, GateType.CONST1),
+    GateType.OR: (1, GateType.CONST1),
+    GateType.NOR: (1, GateType.CONST0),
+}
+
+_BASE_IS_INVERTING = {
+    GateType.AND: False,
+    GateType.NAND: True,
+    GateType.OR: False,
+    GateType.NOR: True,
+    GateType.XOR: False,
+    GateType.XNOR: True,
+}
+
+
+def _const_of(gate, values):
+    """Constant value (0/1) of a signal if known, else None."""
+    if gate.gtype is GateType.CONST0:
+        return 0
+    if gate.gtype is GateType.CONST1:
+        return 1
+    return values.get(gate.name)
+
+
+def _fold(gtype, fanins, values):
+    """Fold one gate given known fanin constants.
+
+    Returns ``("const", 0/1)``, ``("gate", gtype, fanins)`` (possibly
+    simplified), or ``None`` when nothing changed.
+    """
+    const_in = [values.get(s) for s in fanins]
+    if all(v is None for v in const_in):
+        return None
+
+    if gtype in (GateType.NOT, GateType.BUF):
+        v = const_in[0]
+        if v is None:
+            return None
+        return ("const", v ^ 1 if gtype is GateType.NOT else v)
+
+    if gtype in _ABSORBING:
+        absorb, _ = _ABSORBING[gtype]
+        if any(v == absorb for v in const_in):
+            return ("const", 1 - absorb if _BASE_IS_INVERTING[gtype] else absorb)
+
+    if gtype in (GateType.XOR, GateType.XNOR):
+        parity = 1 if gtype is GateType.XNOR else 0
+        rest = []
+        for sig, v in zip(fanins, const_in):
+            if v is None:
+                rest.append(sig)
+            else:
+                parity ^= v
+        if not rest:
+            return ("const", parity)
+        if len(rest) == 1:
+            return ("gate", GateType.NOT if parity else GateType.BUF, tuple(rest))
+        gt = GateType.XNOR if parity else GateType.XOR
+        if gt is gtype and len(rest) == len(fanins):
+            return None
+        return ("gate", gt, tuple(rest))
+
+    if gtype in (GateType.AND, GateType.NAND, GateType.OR, GateType.NOR):
+        identity = _IDENTITY[gtype]
+        rest = [s for s, v in zip(fanins, const_in) if v is None]
+        if not rest:
+            # All-constant, none absorbing: result is the identity value
+            # through the gate polarity.
+            value = identity ^ (1 if _BASE_IS_INVERTING[gtype] else 0)
+            return ("const", value)
+        if len(rest) == len(fanins):
+            return None
+        if len(rest) == 1:
+            gt = GateType.NOT if _BASE_IS_INVERTING[gtype] else GateType.BUF
+            return ("gate", gt, tuple(rest))
+        return ("gate", gtype, tuple(rest))
+
+    return None
+
+
+def propagate_constants(circuit, fixed, name=None):
+    """Pin inputs to constants and fold the consequences.
+
+    Parameters
+    ----------
+    fixed:
+        Mapping input-name -> bool.  Pinned inputs are removed from the
+        input list and become constant gates (names preserved).
+
+    Returns ``(new_circuit, folded_count)`` where ``folded_count`` is the
+    number of gates that became constants or simplified.
+    """
+    out = Circuit(name or f"{circuit.name}_cp")
+    fixed = {k: int(bool(v)) for k, v in fixed.items()}
+    for sig in circuit.inputs:
+        if sig in fixed:
+            out._gates[sig] = Gate(
+                sig, GateType.CONST1 if fixed[sig] else GateType.CONST0, ()
+            )
+        else:
+            out.add_input(sig)
+    for gate in circuit.gates():
+        out._gates[gate.name] = gate
+    out._invalidate()
+    out.set_outputs(list(circuit.outputs))
+
+    values = dict(fixed)
+    for gate in circuit.gates():
+        if gate.gtype is GateType.CONST0:
+            values[gate.name] = 0
+        elif gate.gtype is GateType.CONST1:
+            values[gate.name] = 1
+
+    fanout = out.fanout_map()
+    worklist = list(fixed)
+    folded = 0
+    seen_const = set(fixed)
+    while worklist:
+        sig = worklist.pop()
+        for succ in fanout.get(sig, ()):
+            gate = out._gates[succ]
+            if gate.is_constant:
+                continue
+            result = _fold(gate.gtype, gate.fanins, values)
+            if result is None:
+                continue
+            if result[0] == "const":
+                value = result[1]
+                out._gates[succ] = Gate(
+                    succ, GateType.CONST1 if value else GateType.CONST0, ()
+                )
+                values[succ] = value
+                folded += 1
+                if succ not in seen_const:
+                    seen_const.add(succ)
+                    worklist.append(succ)
+            else:
+                _, gt, fanins = result
+                if gt is not gate.gtype or fanins != gate.fanins:
+                    folded += 1
+                out._gates[succ] = Gate(succ, gt, fanins)
+    out._invalidate()
+    return out, folded
+
+
+def dead_code_eliminate(circuit, keep_inputs=True):
+    """Remove gates with no path to any primary output.
+
+    Returns ``(new_circuit, removed_count)``.  Primary inputs are kept by
+    default to preserve the interface.
+    """
+    from ..netlist.cone import transitive_fanin
+
+    live = transitive_fanin(circuit, list(circuit.outputs)) if circuit.outputs else set()
+    out = Circuit(circuit.name)
+    removed = 0
+    for sig in circuit.inputs:
+        if keep_inputs or sig in live:
+            out.add_input(sig)
+    for gate in circuit.gates():
+        if gate.name in live:
+            out._gates[gate.name] = gate
+        else:
+            removed += 1
+    out._invalidate()
+    out.set_outputs(list(circuit.outputs))
+    return out, removed
+
+
+@dataclass(frozen=True)
+class CircuitFeatures:
+    """SCOPE-style synthesis features of a netlist.
+
+    ``area`` counts logic gates (buffers and constants are free after
+    technology mapping), ``depth`` is the logic depth, and ``power`` is a
+    switching-activity proxy: the sum over signals of ``p*(1-p)`` with
+    ``p`` estimated from random simulation.
+    """
+
+    area: int
+    depth: int
+    power: float
+
+    def as_tuple(self):
+        return (self.area, self.depth, self.power)
+
+
+def circuit_features(circuit, power_patterns=64, rng=None):
+    """Extract :class:`CircuitFeatures` from a netlist."""
+    area = sum(
+        1
+        for g in circuit.gates()
+        if g.gtype not in (GateType.BUF, GateType.CONST0, GateType.CONST1)
+    )
+    depth = circuit.depth()
+    power = 0.0
+    if power_patterns and circuit.inputs:
+        words, mask = random_patterns(list(circuit.inputs), power_patterns, rng)
+        values = circuit.evaluate(words, mask)
+        for sig, word in values.items():
+            p = bin(word).count("1") / power_patterns
+            power += p * (1.0 - p)
+    return CircuitFeatures(area=area, depth=depth, power=power)

@@ -1,0 +1,71 @@
+"""Resynthesis driver: the reproduction's stand-in for Cadence Genus.
+
+The KRATT paper synthesizes every locked design "to break the regular
+structure of the locking scheme" and, for Fig. 6, re-synthesizes one
+circuit under 50 different effort/delay settings.  This driver composes
+the seeded local rewrites of :mod:`repro.synth.rewrite` to the same
+effect: locking comparators dissolve into plain gates, tree shapes and
+polarities change, and internal names are discarded — while the Boolean
+function is preserved (verified by SAT miter in the test suite).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .constprop import dead_code_eliminate, propagate_constants
+from .rewrite import (
+    anonymize_internals,
+    demorgan_sample,
+    flatten_and_rebalance,
+    merge_inverter_pairs,
+    sweep_buffers,
+    xor_decompose_sample,
+)
+
+__all__ = ["resynthesize"]
+
+
+def resynthesize(
+    circuit,
+    seed=0,
+    effort=2,
+    delay_bias=0.5,
+    xor_probability=0.6,
+    demorgan_probability=0.3,
+    anonymize=True,
+    name=None,
+):
+    """Produce a functionally equivalent, structurally different netlist.
+
+    Parameters
+    ----------
+    seed:
+        Drives every random choice; same seed, same result.
+    effort:
+        Number of rewrite rounds (the paper's "design effort" knob).
+        Higher effort mangles structure more.
+    delay_bias:
+        Probability that a flattened cluster is rebuilt balanced
+        (depth-optimized) instead of as a chain — the "delay constraint"
+        knob for Fig. 6.
+    xor_probability / demorgan_probability:
+        Sampling rates of the two polarity-churning rewrites per round.
+    anonymize:
+        Rename internal signals to opaque names, as synthesis does.
+    """
+    rng = random.Random(("resynth", seed, circuit.name).__str__())
+    out = circuit.copy(name or f"{circuit.name}_syn{seed}")
+    for _ in range(max(1, effort)):
+        out = xor_decompose_sample(out, rng, xor_probability)
+        out = demorgan_sample(out, rng, demorgan_probability)
+        out = flatten_and_rebalance(out, rng, balance=delay_bias)
+        out = merge_inverter_pairs(out)
+        out = sweep_buffers(out)
+    out, _ = propagate_constants(out, {})
+    out, _ = dead_code_eliminate(out)
+    if anonymize:
+        out = anonymize_internals(out, rng)
+    out.name = name or f"{circuit.name}_syn{seed}"
+    out.validate()
+    return out

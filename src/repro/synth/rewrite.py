@@ -1,0 +1,308 @@
+"""Function-preserving local rewrites.
+
+Each pass takes a circuit and returns a rewritten copy with the same
+primary inputs, outputs, and Boolean function.  The resynthesis driver
+(:mod:`repro.synth.resynth`) composes them with a seed to generate
+structurally diverse but functionally identical netlists — the stand-in
+for running Cadence Genus with different efforts and delay constraints
+(paper Fig. 6).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..netlist.circuit import Circuit
+from ..netlist.gate import Gate, GateType
+
+__all__ = [
+    "sweep_buffers",
+    "merge_inverter_pairs",
+    "flatten_and_rebalance",
+    "demorgan_sample",
+    "xor_decompose_sample",
+    "anonymize_internals",
+]
+
+
+
+def _namer(circuit, base):
+    """Fresh-name generator that never collides with existing signals.
+
+    Rewrite passes may run repeatedly on the same netlist; names from a
+    previous round are still present, so a bare counter would collide and
+    silently corrupt the circuit.
+    """
+    used = set(circuit.signals)
+    counter = [0]
+
+    def fresh(suffix=""):
+        while True:
+            name = f"{base}{counter[0]}{suffix}"
+            counter[0] += 1
+            if name not in used:
+                used.add(name)
+                return name
+
+    return fresh
+
+
+def _rebuild(circuit, gates, name=None):
+    out = Circuit(name or circuit.name)
+    for sig in circuit.inputs:
+        out.add_input(sig)
+    for gate in gates.values():
+        if not gate.is_input:
+            out._gates[gate.name] = gate
+    out._invalidate()
+    out.set_outputs(list(circuit.outputs))
+    return out
+
+
+def sweep_buffers(circuit):
+    """Remove BUF gates by rewiring their fanout (outputs keep a BUF)."""
+    protected = set(circuit.outputs)
+    alias = {}
+    gates = {}
+    for sig in circuit.topological_order():
+        gate = circuit.gate(sig)
+        if gate.is_input:
+            continue
+        fanins = tuple(alias.get(s, s) for s in gate.fanins)
+        if gate.gtype is GateType.BUF and sig not in protected:
+            alias[sig] = fanins[0]
+            continue
+        gates[sig] = Gate(sig, gate.gtype, fanins)
+    out = _rebuild(circuit, gates)
+    out.validate()
+    return out
+
+
+def merge_inverter_pairs(circuit):
+    """Collapse NOT(NOT(x)) chains and NOT-over-complement-gate pairs.
+
+    ``NOT(NAND(..))`` becomes ``AND(..)`` (and the dual cases) when the
+    inner gate has a single fanout; double inverters become buffers that
+    the next sweep removes.
+    """
+    fanout = circuit.fanout_map()
+    gates = {}
+    inlined = set()
+    complements = {
+        GateType.NAND: GateType.AND,
+        GateType.NOR: GateType.OR,
+        GateType.XNOR: GateType.XOR,
+        GateType.AND: GateType.NAND,
+        GateType.OR: GateType.NOR,
+        GateType.XOR: GateType.XNOR,
+        GateType.NOT: GateType.BUF,
+    }
+    protected = set(circuit.outputs)
+    for sig in circuit.topological_order():
+        gate = circuit.gate(sig)
+        if gate.is_input:
+            continue
+        if gate.gtype is GateType.NOT:
+            inner_name = gate.fanins[0]
+            # Use the current (possibly already rewritten) definition of
+            # the inner gate so chained inlining never resurrects fanins
+            # that a previous inlining step consumed.
+            inner = gates.get(inner_name)
+            if (
+                inner is not None
+                and inner.gtype in complements
+                and len(fanout[inner_name]) == 1
+                and inner_name not in protected
+            ):
+                gates[sig] = Gate(sig, complements[inner.gtype], inner.fanins)
+                inlined.add(inner_name)
+                continue
+        gates[sig] = gate
+    for name in inlined:
+        gates.pop(name, None)
+    out = _rebuild(circuit, gates)
+    out.validate()
+    return out
+
+
+def _collect_cluster(circuit, fanout, root_name, gtype, protected):
+    """Maximal same-type cluster under a root.
+
+    Interior nodes must have a single fanout and not be primary outputs,
+    so absorbing them into the root is safe.  Returns
+    ``(leaves, interior)``: the external fanin signals and the absorbed
+    gate names (root excluded).
+    """
+    leaves = []
+    interior = []
+    stack = list(circuit.gate(root_name).fanins)
+    while stack:
+        sig = stack.pop()
+        gate = circuit.gate(sig)
+        expandable = (
+            not gate.is_input
+            and gate.gtype is gtype
+            and len(fanout[sig]) == 1
+            and sig not in protected
+        )
+        if expandable:
+            interior.append(sig)
+            stack.extend(gate.fanins)
+        else:
+            leaves.append(sig)
+    return leaves, interior
+
+
+def flatten_and_rebalance(circuit, rng, balance=0.5):
+    """Re-shape AND/OR/XOR clusters into randomized 2-input trees.
+
+    ``balance`` is the probability that a cluster is rebuilt balanced
+    (minimum depth) rather than as a skewed chain — the proxy for a
+    synthesis delay constraint.
+    """
+    fanout = circuit.fanout_map()
+    protected = set(circuit.outputs)
+    flattenable = (GateType.AND, GateType.OR, GateType.XOR)
+    consumed = set()
+    gates = {}
+    fresh = _namer(circuit, "rb")
+
+    for sig in circuit.topological_order():
+        gate = circuit.gate(sig)
+        if gate.is_input or sig in consumed:
+            continue
+        if gate.gtype not in flattenable:
+            gates[sig] = gate
+            continue
+        leaves, interior = _collect_cluster(circuit, fanout, sig, gate.gtype, protected)
+        if len(leaves) <= 2:
+            gates[sig] = gate
+            continue
+        consumed.update(interior)
+        rng.shuffle(leaves)
+        balanced = rng.random() < balance
+        level = list(leaves)
+        while len(level) > 2:
+            if balanced:
+                nxt = []
+                for i in range(0, len(level) - 1, 2):
+                    name = fresh()
+                    gates[name] = Gate(name, gate.gtype, (level[i], level[i + 1]))
+                    nxt.append(name)
+                if len(level) % 2:
+                    nxt.append(level[-1])
+                level = nxt
+            else:
+                name = fresh()
+                gates[name] = Gate(name, gate.gtype, (level[0], level[1]))
+                level = [name] + level[2:]
+        gates[sig] = Gate(sig, gate.gtype, tuple(level))
+
+    # Consumed interior nodes may be referenced by untouched gates only if
+    # they had fanout 1 into the cluster, so dropping them is safe.
+    for name in consumed:
+        gates.pop(name, None)
+    out = _rebuild(circuit, gates)
+    out.validate()
+    return out
+
+
+def demorgan_sample(circuit, rng, probability=0.25):
+    """Apply De Morgan re-expressions to a random sample of gates.
+
+    * ``NAND(a,b) -> OR(NOT a, NOT b)``
+    * ``NOR(a,b)  -> AND(NOT a, NOT b)``
+    * ``AND(a,b)  -> NOT(NOR(NOT a, NOT b)) == NOR(NOT a, NOT b)`` dual
+    * ``OR(a,b)   -> NAND(NOT a, NOT b)``
+
+    Only 2-input gates are touched; wide gates are handled by rebalancing
+    first.  Gate output names are preserved.
+    """
+    gates = {}
+    fresh = _namer(circuit, "dm")
+    for sig in circuit.topological_order():
+        gate = circuit.gate(sig)
+        if gate.is_input:
+            continue
+        if len(gate.fanins) != 2 or rng.random() > probability:
+            gates[sig] = gate
+            continue
+        a, b = gate.fanins
+        na = fresh("_a")
+        nb = fresh("_b")
+        if gate.gtype is GateType.NAND:
+            gates[na] = Gate(na, GateType.NOT, (a,))
+            gates[nb] = Gate(nb, GateType.NOT, (b,))
+            gates[sig] = Gate(sig, GateType.OR, (na, nb))
+        elif gate.gtype is GateType.NOR:
+            gates[na] = Gate(na, GateType.NOT, (a,))
+            gates[nb] = Gate(nb, GateType.NOT, (b,))
+            gates[sig] = Gate(sig, GateType.AND, (na, nb))
+        elif gate.gtype is GateType.AND:
+            gates[na] = Gate(na, GateType.NOT, (a,))
+            gates[nb] = Gate(nb, GateType.NOT, (b,))
+            gates[sig] = Gate(sig, GateType.NOR, (na, nb))
+        elif gate.gtype is GateType.OR:
+            gates[na] = Gate(na, GateType.NOT, (a,))
+            gates[nb] = Gate(nb, GateType.NOT, (b,))
+            gates[sig] = Gate(sig, GateType.NAND, (na, nb))
+        else:
+            gates[sig] = gate
+    out = _rebuild(circuit, gates)
+    out.validate()
+    return out
+
+
+def xor_decompose_sample(circuit, rng, probability=0.3):
+    """Decompose sampled 2-input XOR/XNOR gates into AND/OR/NOT logic.
+
+    ``XOR(a,b) -> OR(AND(a, NOT b), AND(NOT a, b))`` and the complement
+    for XNOR.  This is the rewrite that most effectively hides locking
+    structure, because the comparator XNORs dissolve into plain gates.
+    """
+    gates = {}
+    fresh = _namer(circuit, "xd")
+    for sig in circuit.topological_order():
+        gate = circuit.gate(sig)
+        if gate.is_input:
+            continue
+        if (
+            gate.gtype not in (GateType.XOR, GateType.XNOR)
+            or len(gate.fanins) != 2
+            or rng.random() > probability
+        ):
+            gates[sig] = gate
+            continue
+        a, b = gate.fanins
+        na = fresh("_na")
+        nb = fresh("_nb")
+        t1 = fresh("_t1")
+        t2 = fresh("_t2")
+        gates[na] = Gate(na, GateType.NOT, (a,))
+        gates[nb] = Gate(nb, GateType.NOT, (b,))
+        if gate.gtype is GateType.XOR:
+            gates[t1] = Gate(t1, GateType.AND, (a, nb))
+            gates[t2] = Gate(t2, GateType.AND, (na, b))
+            gates[sig] = Gate(sig, GateType.OR, (t1, t2))
+        else:
+            gates[t1] = Gate(t1, GateType.OR, (a, nb))
+            gates[t2] = Gate(t2, GateType.OR, (na, b))
+            gates[sig] = Gate(sig, GateType.AND, (t1, t2))
+    out = _rebuild(circuit, gates)
+    out.validate()
+    return out
+
+
+def anonymize_internals(circuit, rng, prefix="n"):
+    """Rename every internal signal to an opaque shuffled name.
+
+    Primary inputs and outputs keep their names (the netlist interface a
+    reverse engineer sees), everything else becomes ``n<i>`` — the way a
+    synthesis tool discards RTL names.
+    """
+    protected = set(circuit.inputs) | set(circuit.outputs)
+    internals = [s for s in circuit.signals if s not in protected]
+    numbers = list(range(len(internals)))
+    rng.shuffle(numbers)
+    rename = {s: f"{prefix}{numbers[i]}" for i, s in enumerate(internals)}
+    return circuit.renamed(rename)

@@ -1,0 +1,237 @@
+"""SAT-window implication simplification (a light "SAT sweeping" pass).
+
+Commercial synthesis discovers non-local redundancies that plain constant
+propagation cannot: if one fanin of an AND gate implies the other, the
+gate collapses to a wire.  SCOPE's key-bit probing relies on exactly this
+class of simplification (pinning a SARLock key bit to the *wrong* value
+makes the comparator imply the mask, dissolving the mask cone).
+
+The checks are windowed: each query encodes only the fan-in cone of the
+two fanins up to ``window`` gates, treating cut signals as free inputs.
+Freeing cut signals only weakens deductions, so every rewrite the pass
+performs is globally sound.
+"""
+
+from __future__ import annotations
+
+from ..netlist.circuit import Circuit
+from ..netlist.cone import transitive_fanout
+from ..netlist.gate import Gate, GateType
+from ..sat.cnf import CNF
+from ..sat.solver import Solver
+from ..sat.tseitin import encode_gate_clauses
+from .constprop import dead_code_eliminate, propagate_constants
+
+__all__ = ["implication_simplify", "simulation_observations", "simplification_region"]
+
+
+def _window_cone(circuit, roots, window):
+    """Signals of the combined fan-in cone, truncated to ``window`` gates.
+
+    Returns ``(cone_signals, cut_signals)``: the gates included and the
+    signals treated as free window inputs.
+    """
+    cone = set()
+    cut = set()
+    frontier = list(roots)
+    while frontier and len(cone) < window:
+        sig = frontier.pop(0)
+        if sig in cone or sig in cut:
+            continue
+        gate = circuit.gate(sig)
+        if gate.is_input or gate.is_constant:
+            cut.add(sig)
+            continue
+        cone.add(sig)
+        frontier.extend(gate.fanins)
+    for sig in frontier:
+        if sig not in cone:
+            cut.add(sig)
+    return cone, cut
+
+
+def _encode_window(circuit, cone, cut, solver):
+    varmap = {}
+    for sig in cut:
+        varmap[sig] = solver.new_var()
+    order = [s for s in circuit.topological_order() if s in cone]
+    for sig in order:
+        varmap[sig] = solver.new_var()
+    for sig in order:
+        gate = circuit.gate(sig)
+        cnf = CNF()
+        cnf.num_vars = solver.num_vars
+        encode_gate_clauses(cnf, gate.gtype, varmap[sig], [varmap[s] for s in gate.fanins])
+        solver.ensure_vars(cnf.num_vars)
+        for clause in cnf.clauses:
+            solver.add_clause(clause)
+    return varmap
+
+
+_PROBE_COMBO = {"u->w": (1, 0), "w->u": (0, 1), "excl": (1, 1), "cover": (0, 0)}
+
+
+def _possible_facts(u, w, observations):
+    """Facts not already refuted by random-simulation observations.
+
+    ``observations`` maps signal -> packed simulation word (with the word
+    ``observations["__mask__"]`` giving the pattern mask).  A fact like
+    ``u->w`` is refuted the moment the combination (u=1, w=0) is observed,
+    so simulation screens out almost every false implication before any
+    SAT call is spent.
+    """
+    if not observations or u not in observations or w not in observations:
+        return set(_PROBE_COMBO)
+    mask = observations["__mask__"]
+    wu, ww = observations[u], observations[w]
+    combos = {
+        (1, 0): wu & (mask ^ ww),
+        (0, 1): (mask ^ wu) & ww,
+        (1, 1): wu & ww,
+        (0, 0): (mask ^ wu) & (mask ^ ww),
+    }
+    return {fact for fact, combo in _PROBE_COMBO.items() if not combos[combo]}
+
+
+def _relation(circuit, u, w, window, max_conflicts, candidates=None):
+    """Classify the pair (u, w) inside a SAT window.
+
+    Returns a set of proven facts among ``{"u->w", "w->u", "excl",
+    "cover"}`` where ``excl`` means u AND w is unsatisfiable and ``cover``
+    means NOT u AND NOT w is unsatisfiable.  ``candidates`` restricts
+    which facts are probed (see :func:`_possible_facts`).
+    """
+    facts = set()
+    probes = {
+        "u->w": (1, -1),
+        "w->u": (-1, 1),
+        "excl": (1, 1),
+        "cover": (-1, -1),
+    }
+    if candidates is not None:
+        probes = {f: p for f, p in probes.items() if f in candidates}
+    if not probes:
+        return facts
+    cone, cut = _window_cone(circuit, [u, w], window)
+    solver = Solver()
+    varmap = _encode_window(circuit, cone, cut, solver)
+    vu, vw = varmap[u], varmap[w]
+    for fact, (su, sw) in probes.items():
+        status = solver.solve((su * vu, sw * vw), max_conflicts=max_conflicts)
+        if status is False:
+            facts.add(fact)
+    return facts
+
+
+def simulation_observations(circuit, patterns=96, rng=None):
+    """Random-simulation signal values used to screen implication probes.
+
+    Returns a dict of signal -> packed word plus ``"__mask__"``; feed it
+    to :func:`implication_simplify`.  Valid as long as every rewrite is
+    function-preserving (which all rewrites here are).
+    """
+    from ..netlist.simulate import random_patterns
+
+    if not circuit.inputs:
+        return None
+    words, mask = random_patterns(list(circuit.inputs), patterns, rng)
+    values = circuit.evaluate(words, mask)
+    values["__mask__"] = mask
+    return values
+
+
+def implication_simplify(
+    circuit,
+    region=None,
+    window=300,
+    max_conflicts=3000,
+    max_checks=200,
+    observations=None,
+):
+    """Simplify 2-input gates whose fanins are SAT-provably related.
+
+    Parameters
+    ----------
+    region:
+        Iterable of signal names to consider (default: all gates).  SCOPE
+        passes the fanout cone of the pinned key input, top-down.
+    window / max_conflicts / max_checks:
+        Resource caps; anything unproven within them is left alone.
+        ``max_checks`` counts *SAT-probed* gates only — gates screened out
+        by simulation are free.
+    observations:
+        Output of :func:`simulation_observations`; skips probes already
+        refuted by simulation.
+
+    Returns ``(new_circuit, rewrites)`` with the number of gates changed.
+    """
+    out = circuit.copy()
+    names = list(region) if region is not None else [g.name for g in out.gates()]
+    considered = 0
+    rewrites = 0
+
+    for sig in names:
+        if considered >= max_checks:
+            break
+        if sig not in out:
+            continue
+        gate = out.gate(sig)
+        if gate.is_input or len(gate.fanins) != 2:
+            continue
+        if gate.gtype not in (
+            GateType.AND,
+            GateType.NAND,
+            GateType.OR,
+            GateType.NOR,
+            GateType.XOR,
+            GateType.XNOR,
+        ):
+            continue
+        u, w = gate.fanins
+        candidates = _possible_facts(u, w, observations)
+        if not candidates:
+            continue
+        considered += 1
+        facts = _relation(out, u, w, window, max_conflicts, candidates)
+        if not facts:
+            continue
+        new = None
+        if gate.gtype in (GateType.AND, GateType.NAND):
+            inverted = gate.gtype is GateType.NAND
+            if "excl" in facts:
+                new = (GateType.CONST1 if inverted else GateType.CONST0, ())
+            elif "u->w" in facts:
+                new = (GateType.NOT if inverted else GateType.BUF, (u,))
+            elif "w->u" in facts:
+                new = (GateType.NOT if inverted else GateType.BUF, (w,))
+        elif gate.gtype in (GateType.OR, GateType.NOR):
+            inverted = gate.gtype is GateType.NOR
+            if "cover" in facts:
+                new = (GateType.CONST0 if inverted else GateType.CONST1, ())
+            elif "u->w" in facts:
+                new = (GateType.NOT if inverted else GateType.BUF, (w,))
+            elif "w->u" in facts:
+                new = (GateType.NOT if inverted else GateType.BUF, (u,))
+        else:  # XOR / XNOR
+            inverted = gate.gtype is GateType.XNOR
+            if "u->w" in facts and "w->u" in facts:  # u == w
+                new = (GateType.CONST1 if inverted else GateType.CONST0, ())
+            elif "excl" in facts and "cover" in facts:  # u == NOT w
+                new = (GateType.CONST0 if inverted else GateType.CONST1, ())
+        if new is None:
+            continue
+        out._gates[sig] = Gate(sig, new[0], new[1])
+        out._invalidate()
+        rewrites += 1
+
+    if rewrites:
+        out, _ = propagate_constants(out, {})
+        out, _ = dead_code_eliminate(out)
+    return out, rewrites
+
+
+def simplification_region(circuit, sources, cap=4000):
+    """Fanout region of pinned signals, ordered topologically, capped."""
+    region = transitive_fanout(circuit, [s for s in sources if s in circuit])
+    ordered = [s for s in circuit.topological_order() if s in region]
+    return ordered[:cap]

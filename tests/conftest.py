@@ -1,0 +1,53 @@
+"""Shared test fixtures: seeded random hosts and helpers."""
+
+import os
+import random
+
+import pytest
+
+from repro.netlist import Circuit
+
+os.environ.setdefault("REPRO_SCALE", "tiny")
+
+GATE_CHOICES = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR"]
+
+
+def build_random_circuit(n_inputs=6, n_gates=20, n_outputs=3, seed=0,
+                         unary_fraction=0.15):
+    """Seeded random DAG circuit used across the suite."""
+    rng = random.Random(("testhost", seed, n_inputs, n_gates).__str__())
+    circuit = Circuit(f"rand{seed}")
+    signals = [circuit.add_input(f"x{i}") for i in range(n_inputs)]
+    for g in range(n_gates):
+        if rng.random() < unary_fraction:
+            circuit.add_gate(f"g{g}", "NOT", (rng.choice(signals),))
+        else:
+            a, b = rng.sample(signals, 2)
+            circuit.add_gate(f"g{g}", rng.choice(GATE_CHOICES), (a, b))
+        signals.append(f"g{g}")
+    circuit.set_outputs(signals[-n_outputs:])
+    circuit.validate()
+    return circuit
+
+
+@pytest.fixture
+def small_circuit():
+    return build_random_circuit(seed=1)
+
+
+@pytest.fixture
+def medium_circuit():
+    return build_random_circuit(n_inputs=12, n_gates=80, n_outputs=6, seed=2)
+
+
+@pytest.fixture
+def majority_circuit():
+    c = Circuit("maj")
+    for name in ("a", "b", "c"):
+        c.add_input(name)
+    c.add_gate("ab", "AND", ("a", "b"))
+    c.add_gate("ac", "AND", ("a", "c"))
+    c.add_gate("bc", "AND", ("b", "c"))
+    c.add_gate("f", "OR", ("ab", "ac", "bc"))
+    c.add_output("f")
+    return c.validate()

@@ -1,0 +1,147 @@
+"""Tests for the oracle-guided baselines: SAT attack, DDIP, AppSAT, and SCOPE."""
+
+import pytest
+
+from conftest import build_random_circuit
+from repro.attacks import (
+    DipEngine,
+    Oracle,
+    appsat_attack,
+    ddip_attack,
+    sat_attack,
+    scope_attack,
+    score_key,
+)
+from repro.locking import lock_sarlock, lock_ttlock, lock_xor
+
+
+@pytest.fixture(scope="module")
+def host():
+    return build_random_circuit(n_inputs=8, n_gates=50, n_outputs=4, seed=31)
+
+
+class TestDipEngine:
+    def test_dip_exists_initially(self, host):
+        locked = lock_xor(host, 4, seed=1)
+        engine = DipEngine(locked.circuit, locked.key_inputs)
+        status, x = engine.find_dip()
+        assert status is True
+        assert set(x) == set(host.inputs)
+
+    def test_io_constraints_shrink_keyspace(self, host):
+        locked = lock_xor(host, 4, seed=1)
+        oracle = Oracle(locked.original)
+        engine = DipEngine(locked.circuit, locked.key_inputs)
+        for _ in range(20):
+            status, x = engine.find_dip()
+            if status is not True:
+                break
+            engine.add_io_constraint(x, oracle.query(x))
+        assert status is False
+        key = engine.extract_key()
+        assert score_key(locked, key).functional
+
+
+class TestSatAttack:
+    def test_breaks_xor_lock(self, host):
+        locked = lock_xor(host, 6, seed=2)
+        oracle = Oracle(locked.original)
+        result = sat_attack(locked.circuit, locked.key_inputs, oracle, time_limit=60)
+        assert result.success and not result.timed_out
+        assert score_key(locked, result.key).functional
+
+    def test_oot_on_sarlock(self, host):
+        locked = lock_sarlock(host, 8, seed=2)  # 256 wrong keys, 1s budget
+        oracle = Oracle(locked.original)
+        result = sat_attack(locked.circuit, locked.key_inputs, oracle, time_limit=1.0)
+        assert result.timed_out
+
+    def test_iteration_limit(self, host):
+        locked = lock_sarlock(host, 8, seed=2)
+        oracle = Oracle(locked.original)
+        result = sat_attack(
+            locked.circuit, locked.key_inputs, oracle,
+            time_limit=None, max_iterations=3,
+        )
+        assert result.timed_out and result.iterations == 3
+
+    def test_query_accounting(self, host):
+        locked = lock_xor(host, 4, seed=3)
+        oracle = Oracle(locked.original)
+        result = sat_attack(locked.circuit, locked.key_inputs, oracle, time_limit=60)
+        assert result.oracle_queries == result.iterations
+
+
+class TestDdip:
+    def test_breaks_xor_lock(self, host):
+        locked = lock_xor(host, 6, seed=4)
+        oracle = Oracle(locked.original)
+        result = ddip_attack(locked.circuit, locked.key_inputs, oracle, time_limit=60)
+        assert result.success
+        assert score_key(locked, result.key).functional
+
+    def test_oot_on_sarlock(self, host):
+        locked = lock_sarlock(host, 8, seed=4)
+        oracle = Oracle(locked.original)
+        result = ddip_attack(locked.circuit, locked.key_inputs, oracle, time_limit=1.0)
+        assert result.timed_out
+
+
+class TestAppSat:
+    def test_breaks_xor_lock(self, host):
+        locked = lock_xor(host, 6, seed=5)
+        oracle = Oracle(locked.original)
+        result = appsat_attack(locked.circuit, locked.key_inputs, oracle, time_limit=60)
+        assert result.key
+        assert score_key(locked, result.key).functional
+
+    def test_approximate_early_exit_on_point_function(self, host):
+        locked = lock_sarlock(host, 8, seed=5)
+        oracle = Oracle(locked.original)
+        result = appsat_attack(
+            locked.circuit, locked.key_inputs, oracle,
+            time_limit=30, reinforce_every=2, random_queries=16, settle_rounds=1,
+        )
+        # Either settles early with an approximate key or times out: both
+        # reproduce the paper's "fails to find the secret key" outcome.
+        if result.details.get("approximate"):
+            assert result.key
+            assert not score_key(locked, result.key).exact_match
+        else:
+            assert result.timed_out or result.success
+
+
+class TestScope:
+    def test_sarlock_all_bits(self, host):
+        locked = lock_sarlock(host, 8, seed=6)
+        result = scope_attack(locked.circuit, locked.key_inputs, rule="preserve",
+                              use_implications=False)
+        score = score_key(locked, result.guesses)
+        assert score.exact_match, score
+
+    def test_rule_validation(self, host):
+        locked = lock_sarlock(host, 4, seed=6)
+        with pytest.raises(ValueError):
+            scope_attack(locked.circuit, locked.key_inputs, rule="bogus")
+
+    def test_collapse_rule_inverts_decision(self, host):
+        locked = lock_sarlock(host, 6, seed=6)
+        preserve = scope_attack(locked.circuit, locked.key_inputs, rule="preserve",
+                                use_implications=False)
+        collapse = scope_attack(locked.circuit, locked.key_inputs, rule="collapse",
+                                use_implications=False)
+        for k in locked.key_inputs:
+            if preserve.guesses[k] is not None and collapse.guesses[k] is not None:
+                assert preserve.guesses[k] != collapse.guesses[k]
+
+    def test_missing_key_input_unresolved(self, host):
+        locked = lock_sarlock(host, 4, seed=6)
+        result = scope_attack(locked.circuit, ["ghost_key"], use_implications=False)
+        assert result.guesses["ghost_key"] is None
+
+    def test_ttlock_partial_on_full_netlist(self, host):
+        locked = lock_ttlock(host, 6, seed=6)
+        result = scope_attack(locked.circuit, locked.key_inputs, rule="preserve",
+                              use_implications=False)
+        score = score_key(locked, result.guesses)
+        assert score.dk <= score.total  # sanity: no over-reporting

@@ -1,0 +1,81 @@
+"""Tests for the .bench reader/writer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import build_random_circuit
+from repro.netlist import ParseError, parse_bench, simulate_exhaustive, write_bench
+
+SAMPLE = """
+# c17 fragment
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G7)
+G5 = NAND(G1, G2)
+G6 = NOT(G3)
+G7 = AND(G5, G6)
+"""
+
+
+class TestParse:
+    def test_sample(self):
+        c = parse_bench(SAMPLE, "c17f")
+        assert len(c.inputs) == 3
+        assert c.outputs == ("G7",)
+        assert c.num_gates == 3
+
+    def test_comments_and_blank_lines(self):
+        c = parse_bench("# hi\n\nINPUT(a)\nOUTPUT(b)\nb = NOT(a)  # inline\n")
+        assert c.num_gates == 1
+
+    def test_constants(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(o)\nt = vdd\nz = gnd\no = AND(t, z)\n")
+        assert simulate_exhaustive(c) == [(0,), (0,)]
+
+    def test_buff_alias(self):
+        c = parse_bench("INPUT(a)\nOUTPUT(o)\no = BUFF(a)\n")
+        assert simulate_exhaustive(c) == [(0,), (1,)]
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\no = FROB(a)\n")
+
+    def test_garbage_line_rejected(self):
+        with pytest.raises(ParseError) as err:
+            parse_bench("INPUT(a)\nthis is not bench\n")
+        assert "line 2" in str(err.value)
+
+    def test_undefined_signal_rejected(self):
+        from repro.netlist import CircuitStructureError
+
+        with pytest.raises(CircuitStructureError):
+            parse_bench("INPUT(a)\nOUTPUT(o)\no = NOT(ghost)\n")
+
+    def test_duplicate_definition_rejected(self):
+        with pytest.raises(ParseError):
+            parse_bench("INPUT(a)\na = NOT(a)\n")
+
+
+class TestRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_roundtrip_preserves_function(self, seed):
+        original = build_random_circuit(n_inputs=5, n_gates=15, seed=seed)
+        parsed = parse_bench(write_bench(original), original.name)
+        assert parsed.inputs == original.inputs
+        assert parsed.outputs == original.outputs
+        assert simulate_exhaustive(parsed) == simulate_exhaustive(original)
+
+    def test_header_comment(self, majority_circuit):
+        text = write_bench(majority_circuit, header="generated for tests")
+        assert "# generated for tests" in text
+
+    def test_file_roundtrip(self, tmp_path, majority_circuit):
+        from repro.netlist import parse_bench_file, write_bench_file
+
+        path = tmp_path / "maj.bench"
+        write_bench_file(majority_circuit, path)
+        loaded = parse_bench_file(path)
+        assert simulate_exhaustive(loaded) == simulate_exhaustive(majority_circuit)
+        assert loaded.name == "maj"

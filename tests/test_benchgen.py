@@ -1,0 +1,112 @@
+"""Tests for the benchmark generators and registry."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen import (
+    HELLO_H,
+    SPECS,
+    array_multiplier,
+    generate_host,
+    hello_locked,
+    layered_circuit,
+    resolve_scale,
+    scaled_key_width,
+)
+from repro.netlist.simulate import simulate_patterns
+
+
+class TestMultiplier:
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.integers(0, 63), b=st.integers(0, 63))
+    def test_6x6_products(self, a, b):
+        m = array_multiplier(6, 6)
+        pattern = {f"a{i}": (a >> i) & 1 for i in range(6)}
+        pattern.update({f"b{j}": (b >> j) & 1 for j in range(6)})
+        out = simulate_patterns(m, [pattern])[0]
+        product = sum(out[f"p{i}"] << i for i in range(12))
+        assert product == a * b
+
+    def test_interface(self):
+        m = array_multiplier(16, 16)
+        assert len(m.inputs) == 32
+        assert len(m.outputs) == 32
+        assert 1000 < m.num_gates < 3500  # c6288-scale
+
+    def test_asymmetric(self):
+        m = array_multiplier(3, 5)
+        pattern = {f"a{i}": 1 for i in range(3)}
+        pattern.update({f"b{j}": 1 for j in range(5)})
+        out = simulate_patterns(m, [pattern])[0]
+        product = sum(out[f"p{i}"] << i for i in range(8))
+        assert product == 7 * 31
+
+
+class TestLayered:
+    def test_targets_met(self):
+        c = layered_circuit("t", 40, 10, 300, seed=3)
+        assert len(c.inputs) == 40
+        assert len(c.outputs) == 10
+        assert abs(c.num_gates - 300) < 60
+
+    def test_every_input_used(self):
+        c = layered_circuit("t", 33, 8, 200, seed=4)
+        used = set()
+        for gate in c.gates():
+            used.update(gate.fanins)
+        assert set(c.inputs) <= used
+
+    def test_deterministic(self):
+        a = layered_circuit("t", 20, 5, 100, seed=5)
+        b = layered_circuit("t", 20, 5, 100, seed=5)
+        assert [(g.name, g.gtype, g.fanins) for g in a.gates()] == [
+            (g.name, g.gtype, g.fanins) for g in b.gates()
+        ]
+
+    def test_seed_changes_structure(self):
+        a = layered_circuit("t", 20, 5, 100, seed=5)
+        b = layered_circuit("t", 20, 5, 100, seed=6)
+        assert [(g.gtype, g.fanins) for g in a.gates()] != [
+            (g.gtype, g.fanins) for g in b.gates()
+        ]
+
+
+class TestRegistry:
+    def test_specs_cover_paper_tables(self):
+        for name in ("c2670", "c5315", "c6288", "b14_C", "b15_C", "b20_C",
+                     "b17_C", "b21_C", "b22_C",
+                     "final_v1", "final_v2", "final_v3"):
+            assert name in SPECS
+
+    def test_table1_interface_at_paper_scale(self):
+        spec = SPECS["c6288"]
+        host = generate_host("c6288", scale="paper")
+        assert len(host.inputs) == spec.inputs
+        assert len(host.outputs) == spec.outputs
+
+    def test_scales(self):
+        tiny = generate_host("b14_C", scale="tiny")
+        small = generate_host("b14_C", scale="small")
+        assert tiny.num_gates < small.num_gates
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_scale("huge")
+
+    def test_scaled_key_width_even(self):
+        for name, spec in SPECS.items():
+            width = scaled_key_width(spec, "tiny")
+            assert width % 2 == 0 and width >= 12
+
+
+class TestHello:
+    def test_locked_circuits(self):
+        locked = hello_locked("final_v3", scale="tiny")
+        assert locked.technique == "sfll_hd"
+        assert locked.metadata["h"] == HELLO_H["final_v3"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            from repro.benchgen import hello_circuit
+
+            hello_circuit("final_v9")

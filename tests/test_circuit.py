@@ -1,0 +1,134 @@
+"""Unit tests for the Circuit container."""
+
+import pytest
+
+from repro.netlist import Circuit, CircuitStructureError, GateType
+
+
+class TestConstruction:
+    def test_add_input_and_gate(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("g", "NOT", ("a",))
+        assert c.has_signal("g")
+        assert c.num_gates == 1
+        assert c.inputs == ("a",)
+
+    def test_duplicate_signal_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        with pytest.raises(CircuitStructureError):
+            c.add_input("a")
+        with pytest.raises(CircuitStructureError):
+            c.add_gate("a", "NOT", ("a",))
+
+    def test_string_gate_type(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("g", "nand", ("a", "a"))
+        assert c.gate("g").gtype is GateType.NAND
+
+    def test_replace_gate(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g", "AND", ("a", "b"))
+        c.replace_gate("g", "OR", ("a", "b"))
+        assert c.gate("g").gtype is GateType.OR
+
+    def test_replace_input_rejected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        with pytest.raises(CircuitStructureError):
+            c.replace_gate("a", "NOT", ("a",))
+
+    def test_remove_gate(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("g", "NOT", ("a",))
+        c.remove_gate("g")
+        assert not c.has_signal("g")
+
+
+class TestStructure:
+    def test_topological_order(self, majority_circuit):
+        order = majority_circuit.topological_order()
+        pos = {s: i for i, s in enumerate(order)}
+        for gate in majority_circuit.gates():
+            for src in gate.fanins:
+                assert pos[src] < pos[gate.name]
+
+    def test_cycle_detected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("g1", "AND", ("a", "g2"))
+        c.add_gate("g2", "NOT", ("g1",))
+        with pytest.raises(CircuitStructureError):
+            c.topological_order()
+
+    def test_undefined_fanin_detected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("g", "AND", ("a", "ghost"))
+        with pytest.raises(CircuitStructureError):
+            c.validate()
+
+    def test_undefined_output_detected(self):
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_output("ghost")
+        with pytest.raises(CircuitStructureError):
+            c.validate()
+
+    def test_fanout_map(self, majority_circuit):
+        fanout = majority_circuit.fanout_map()
+        assert set(fanout["a"]) == {"ab", "ac"}
+        assert fanout["f"] == ()
+
+    def test_depth_and_levels(self, majority_circuit):
+        assert majority_circuit.depth() == 2
+        levels = majority_circuit.levels()
+        assert levels["a"] == 0
+        assert levels["f"] == 2
+
+    def test_gate_type_histogram(self, majority_circuit):
+        hist = majority_circuit.gate_type_histogram()
+        assert hist[GateType.AND] == 3
+        assert hist[GateType.OR] == 1
+
+
+class TestEvaluation:
+    def test_scalar(self, majority_circuit):
+        out = majority_circuit.evaluate({"a": 1, "b": 1, "c": 0}, 1, outputs_only=True)
+        assert out["f"] == 1
+
+    def test_bit_parallel(self, majority_circuit):
+        # patterns: a=0011, b=0101, c=1111 -> maj = 0111
+        out = majority_circuit.evaluate(
+            {"a": 0b0011, "b": 0b0101, "c": 0b1111}, 0b1111, outputs_only=True
+        )
+        assert out["f"] == 0b0111
+
+    def test_missing_input_raises(self, majority_circuit):
+        from repro.netlist import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            majority_circuit.evaluate({"a": 1}, 1)
+
+
+class TestCopies:
+    def test_copy_is_independent(self, majority_circuit):
+        dup = majority_circuit.copy()
+        dup.add_gate("extra", "NOT", ("f",))
+        assert not majority_circuit.has_signal("extra")
+
+    def test_renamed(self, majority_circuit):
+        dup = majority_circuit.renamed({"f": "out", "a": "in_a"})
+        assert dup.has_signal("out")
+        assert "in_a" in dup.inputs
+        assert dup.outputs == ("out",)
+
+    def test_with_prefix_keeps_shared(self, majority_circuit):
+        dup = majority_circuit.with_prefix("P$", keep={"a", "b", "c"})
+        assert "a" in dup.inputs
+        assert dup.has_signal("P$f")

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from conftest import build_random_circuit
+from repro.cli import main
+from repro.netlist import parse_bench_file, write_bench_file
+
+
+@pytest.fixture
+def host_file(tmp_path):
+    host = build_random_circuit(n_inputs=10, n_gates=50, n_outputs=5, seed=121)
+    path = tmp_path / "host.bench"
+    write_bench_file(host, path)
+    return path
+
+
+class TestLockCommand:
+    def test_lock_and_keyfile(self, host_file, tmp_path):
+        out = tmp_path / "locked.bench"
+        rc = main(["lock", str(host_file), "-o", str(out),
+                   "-t", "sarlock", "-k", "8", "--seed", "1"])
+        assert rc == 0
+        locked = parse_bench_file(out)
+        assert sum(1 for s in locked.inputs if s.startswith("keyinput")) == 8
+        key_lines = (tmp_path / "locked.bench.key").read_text().splitlines()
+        assert len(key_lines) == 8
+        assert all("=" in line for line in key_lines)
+
+    def test_lock_resynth(self, host_file, tmp_path):
+        out = tmp_path / "locked.bench"
+        rc = main(["lock", str(host_file), "-o", str(out),
+                   "-t", "ttlock", "-k", "8", "--resynth"])
+        assert rc == 0
+        locked = parse_bench_file(out)
+        internals = set(locked.signals) - set(locked.inputs) - set(locked.outputs)
+        assert not any(s.startswith("ttl_") for s in internals)
+
+
+class TestAttackCommand:
+    def test_ol_attack_json(self, host_file, tmp_path, capsys):
+        locked_path = tmp_path / "locked.bench"
+        main(["lock", str(host_file), "-o", str(locked_path),
+              "-t", "sarlock", "-k", "8", "--seed", "2"])
+        capsys.readouterr()  # drain the lock command's output
+        key_out = tmp_path / "found.key"
+        rc = main(["attack", str(locked_path), "--key-out", str(key_out),
+                   "--qbf-limit", "3"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out.split("wrote")[0])
+        assert summary["method"] == "qbf"
+        assert summary["deciphered"] == 8
+        found = dict(l.split("=") for l in key_out.read_text().split())
+        expected = dict(l.split("=") for l in
+                        (tmp_path / "locked.bench.key").read_text().split())
+        assert found == expected
+
+    def test_og_attack(self, host_file, tmp_path, capsys):
+        locked_path = tmp_path / "locked.bench"
+        main(["lock", str(host_file), "-o", str(locked_path),
+              "-t", "ttlock", "-k", "8", "--seed", "2"])
+        capsys.readouterr()  # drain the lock command's output
+        rc = main(["attack", str(locked_path), "--oracle", str(host_file),
+                   "--qbf-limit", "1"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["success"] is True
+
+    def test_missing_keys_rejected(self, host_file):
+        with pytest.raises(SystemExit):
+            main(["attack", str(host_file)])
+
+
+class TestOtherCommands:
+    def test_info(self, host_file, capsys):
+        rc = main(["info", str(host_file)])
+        assert rc == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["inputs"] == 10 and stats["gates"] == 50
+
+    def test_gen(self, tmp_path, capsys):
+        out = tmp_path / "c6288.bench"
+        rc = main(["gen", "c6288", "-o", str(out), "--scale", "tiny"])
+        assert rc == 0
+        circuit = parse_bench_file(out)
+        assert circuit.num_gates > 0
+
+    def test_removal(self, host_file, tmp_path):
+        locked_path = tmp_path / "locked.bench"
+        main(["lock", str(host_file), "-o", str(locked_path),
+              "-t", "antisat", "-k", "8", "--seed", "3"])
+        out = tmp_path / "unlocked.bench"
+        rc = main(["removal", str(locked_path), "-o", str(out)])
+        assert rc == 0
+        recovered = parse_bench_file(out)
+        host = parse_bench_file(host_file)
+        from repro.netlist import check_equivalent
+
+        assert check_equivalent(host, recovered)[0] is True

@@ -1,0 +1,68 @@
+"""Tests for the CNF container and DIMACS I/O."""
+
+import pytest
+
+from repro.sat import CNF
+
+
+class TestVariables:
+    def test_named_vars_are_stable(self):
+        cnf = CNF()
+        a = cnf.new_var("a")
+        assert cnf.new_var("a") == a
+        assert cnf.var("a") == a
+        assert cnf.name_of(a) == "a"
+
+    def test_anonymous_vars(self):
+        cnf = CNF()
+        v1, v2 = cnf.new_var(), cnf.new_var()
+        assert v2 == v1 + 1
+
+    def test_missing_name(self):
+        with pytest.raises(KeyError):
+            CNF().var("ghost")
+
+
+class TestClauses:
+    def test_add_and_count(self):
+        cnf = CNF()
+        cnf.add_clause([1, -2])
+        cnf.add_clauses([[2, 3], [-1]])
+        assert len(cnf) == 3
+        assert cnf.num_vars == 3
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            CNF().add_clause([0])
+
+    def test_evaluate(self):
+        cnf = CNF()
+        cnf.add_clause([1, 2])
+        cnf.add_clause([-1, 2])
+        assert cnf.evaluate({1: False, 2: True})
+        assert not cnf.evaluate({1: True, 2: False})
+
+    def test_extend(self):
+        a, b = CNF(), CNF()
+        a.add_clause([1, 2])
+        b.add_clause([3])
+        a.extend(b)
+        assert len(a) == 2 and a.num_vars == 3
+
+
+class TestDimacs:
+    def test_roundtrip(self):
+        cnf = CNF()
+        cnf.new_var("x")
+        cnf.add_clause([1, -2])
+        cnf.add_clause([2])
+        text = cnf.to_dimacs()
+        assert "p cnf 2 2" in text
+        back = CNF.from_dimacs(text)
+        assert back.clauses == [(1, -2), (2,)]
+        assert back.num_vars == 2
+
+    def test_parse_tolerates_comments(self):
+        back = CNF.from_dimacs("c hello\np cnf 3 1\n1 -3 0\n")
+        assert back.clauses == [(1, -3)]
+        assert back.num_vars == 3

@@ -1,0 +1,118 @@
+"""Tests for cone and reachability analysis."""
+
+from conftest import build_random_circuit
+from repro.netlist import (
+    cones_with_support_within,
+    extract_cone,
+    reachable_outputs,
+    remove_cone,
+    simulate_exhaustive,
+    support,
+    transitive_fanin,
+    transitive_fanout,
+)
+
+
+class TestReachability:
+    def test_fanin(self, majority_circuit):
+        cone = transitive_fanin(majority_circuit, ["ab"])
+        assert cone == {"ab", "a", "b"}
+
+    def test_fanout(self, majority_circuit):
+        reach = transitive_fanout(majority_circuit, ["a"])
+        assert reach == {"a", "ab", "ac", "f"}
+
+    def test_exclude_roots(self, majority_circuit):
+        assert "ab" not in transitive_fanin(majority_circuit, ["ab"], include_roots=False)
+
+    def test_support(self, majority_circuit):
+        assert support(majority_circuit, "f") == {"a", "b", "c"}
+        assert support(majority_circuit, "ab") == {"a", "b"}
+
+    def test_reachable_outputs(self, majority_circuit):
+        assert reachable_outputs(majority_circuit, "ab") == ["f"]
+
+
+class TestExtractCone:
+    def test_single_cone(self, majority_circuit):
+        cone = extract_cone(majority_circuit, "ab")
+        assert set(cone.inputs) == {"a", "b"}
+        assert cone.outputs == ("ab",)
+        assert simulate_exhaustive(cone) == [(0,), (0,), (0,), (1,)]
+
+    def test_cut_inputs(self, majority_circuit):
+        cone = extract_cone(majority_circuit, "f", extra_inputs=["ab"])
+        assert "ab" in cone.inputs
+        assert cone.num_gates == 3  # ac, bc, f
+
+    def test_function_preserved(self):
+        circuit = build_random_circuit(n_inputs=5, n_gates=25, seed=3)
+        root = circuit.outputs[0]
+        cone = extract_cone(circuit, root)
+        # evaluate both on all patterns of the cone support
+        from repro.netlist.simulate import exhaustive_patterns
+
+        assignment, mask = exhaustive_patterns(list(cone.inputs))
+        full = {name: 0 for name in circuit.inputs}
+        full.update(assignment)
+        expected = circuit.evaluate(full, mask)[root]
+        got = cone.evaluate(assignment, mask)[root]
+        assert expected == got
+
+
+class TestRemoveCone:
+    def test_usc_properties(self, majority_circuit):
+        usc = remove_cone(majority_circuit, "ab")
+        assert "ab" in usc.inputs  # promoted to input
+        assert usc.outputs == ("f",)
+        # With ab free the function is OR(ab, ac, bc)
+        out = usc.evaluate({"a": 0, "b": 0, "c": 0, "ab": 1}, 1, outputs_only=True)
+        assert out["f"] == 1
+
+    def test_shared_logic_kept_in_both(self):
+        # f = AND(x, y); g = OR(f, z); h = XOR(f, z): removing cone of g
+        # must keep f (shared) alive for h.
+        from repro.netlist import Circuit
+
+        c = Circuit("s")
+        for n in ("x", "y", "z"):
+            c.add_input(n)
+        c.add_gate("f", "AND", ("x", "y"))
+        c.add_gate("g", "OR", ("f", "z"))
+        c.add_gate("h", "XOR", ("f", "z"))
+        c.set_outputs(["g", "h"])
+        usc = remove_cone(c, "g")
+        assert usc.has_signal("f")
+        unit = extract_cone(c, "g")
+        assert unit.has_signal("f")
+
+    def test_interface_preserved(self, medium_circuit):
+        root = next(iter(medium_circuit.outputs))
+        usc = remove_cone(medium_circuit, root)
+        assert set(medium_circuit.inputs).issubset(set(usc.inputs))
+
+
+class TestSupportCones:
+    def test_finds_restricted_cone(self):
+        from repro.netlist import Circuit
+
+        c = Circuit("s")
+        for n in ("p1", "p2", "q"):
+            c.add_input(n)
+        c.add_gate("pp", "AND", ("p1", "p2"))   # pure-PPI cone
+        c.add_gate("mix", "OR", ("pp", "q"))    # leaves the region
+        c.set_outputs(["mix"])
+        roots = cones_with_support_within(c, {"p1", "p2"}, min_support=2)
+        assert roots == ["pp"]
+
+    def test_respects_min_support(self):
+        from repro.netlist import Circuit
+
+        c = Circuit("s")
+        c.add_input("p1")
+        c.add_input("q")
+        c.add_gate("n1", "NOT", ("p1",))
+        c.add_gate("mix", "AND", ("n1", "q"))
+        c.set_outputs(["mix"])
+        assert cones_with_support_within(c, {"p1"}, min_support=2) == []
+        assert cones_with_support_within(c, {"p1"}, min_support=1) == ["n1"]

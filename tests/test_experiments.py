@@ -1,0 +1,54 @@
+"""Tests for the experiment harness and table row builders (tiny slices)."""
+
+import pytest
+
+from repro.experiments import (
+    Timer,
+    format_table,
+    prepare_locked,
+    table1_rows,
+    table2_rows,
+)
+
+
+class TestHarness:
+    def test_prepare_locked_cached_and_deterministic(self):
+        a = prepare_locked("c6288", "sarlock", scale="tiny")
+        b = prepare_locked("c6288", "sarlock", scale="tiny")
+        assert a is b  # memoized
+        assert a.locked.correct_key == b.locked.correct_key
+
+    def test_prepared_netlist_is_resynthesized(self):
+        prep = prepare_locked("c6288", "ttlock", scale="tiny")
+        internal = set(prep.netlist.signals) - set(prep.netlist.inputs) - set(
+            prep.netlist.outputs
+        )
+        assert not any(s.startswith("ttl_") for s in internal)
+
+    def test_timer(self):
+        with Timer() as t:
+            pass
+        assert t.elapsed >= 0.0
+
+    def test_format_table(self):
+        text = format_table("T", ("a", "bb"), [(1, 2), ("xxx", 4)], note="n")
+        assert "T" in text and "xxx" in text and text.endswith("n")
+
+
+class TestRows:
+    def test_table1(self):
+        header, rows = table1_rows(scale="tiny")
+        assert len(rows) == 6
+        assert len(header) == len(rows[0])
+
+    def test_table2_slice(self):
+        header, rows = table2_rows(
+            scale="tiny", circuits=("c6288",), techniques=("sarlock",),
+            qbf_time_limit=1.0,
+        )
+        assert len(rows) == 1
+        circuit, technique, scope_acc, _, kratt_acc, _, method = rows[0]
+        assert technique == "sarlock"
+        assert method == "qbf"
+        cdk, dk = kratt_acc.split("/")
+        assert cdk == dk

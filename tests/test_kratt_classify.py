@@ -1,0 +1,61 @@
+"""Tests for KRATT step 3: restore-unit classification and subcircuit extraction."""
+
+import pytest
+
+from conftest import build_random_circuit
+from repro.attacks.kratt import (
+    classify_restore_unit,
+    extract_unit,
+    locked_subcircuit,
+)
+from repro.locking import lock_cac, lock_sfll_hd, lock_ttlock
+from repro.synth import resynthesize
+
+
+@pytest.fixture(scope="module")
+def host():
+    return build_random_circuit(n_inputs=10, n_gates=60, n_outputs=5, seed=61)
+
+
+class TestClassification:
+    def test_ttlock_is_comparator(self, host):
+        locked = lock_ttlock(host, 8, seed=1)
+        extraction = extract_unit(locked.circuit, locked.key_inputs)
+        cls = classify_restore_unit(extraction)
+        assert cls.kind == "comparator" and cls.h == 0
+
+    def test_cac_is_comparator(self, host):
+        locked = lock_cac(host, 8, seed=1)
+        extraction = extract_unit(locked.circuit, locked.key_inputs)
+        cls = classify_restore_unit(extraction)
+        assert cls.kind == "comparator"
+
+    @pytest.mark.parametrize("h", [1, 2, 3])
+    def test_sfll_hd_detects_h(self, host, h):
+        locked = lock_sfll_hd(host, 8, h=h, seed=1)
+        extraction = extract_unit(locked.circuit, locked.key_inputs)
+        cls = classify_restore_unit(extraction)
+        assert cls.kind == "hamming"
+        assert cls.h == h
+
+    def test_sfll_hd_after_resynthesis(self, host):
+        locked = lock_sfll_hd(host, 8, h=2, seed=2)
+        syn = resynthesize(locked.circuit, seed=4, effort=2)
+        extraction = extract_unit(syn, locked.key_inputs)
+        cls = classify_restore_unit(extraction)
+        assert cls.kind == "hamming" and cls.h == 2
+
+
+class TestLockedSubcircuit:
+    def test_contains_flip_output_only(self, host):
+        locked = lock_ttlock(host, 8, seed=1)
+        extraction = extract_unit(locked.circuit, locked.key_inputs)
+        sub = locked_subcircuit(extraction.usc, extraction.critical_signal)
+        assert list(sub.outputs) == [locked.metadata["flip_output"]]
+        assert extraction.critical_signal in sub.inputs
+
+    def test_rejects_dangling_signal(self, host):
+        locked = lock_ttlock(host, 8, seed=1)
+        extraction = extract_unit(locked.circuit, locked.key_inputs)
+        with pytest.raises(Exception):
+            locked_subcircuit(extraction.usc, "no_such_signal")

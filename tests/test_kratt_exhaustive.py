@@ -1,0 +1,65 @@
+"""Tests for KRATT step 7 internals: completions, HD inference."""
+
+import pytest
+
+from conftest import build_random_circuit
+from repro.attacks import Oracle
+from repro.attacks.kratt.exhaustive import (
+    _completions,
+    infer_key_from_hd_constraints,
+)
+from repro.locking import lock_sfll_hd
+
+
+class TestCompletions:
+    def test_fully_specified(self):
+        out = list(_completions({"a": 1, "b": 0}, ["a", "b"], cap=10))
+        assert out == [{"a": 1, "b": 0}]
+
+    def test_expansion_order_zeros_first(self):
+        out = list(_completions({"a": 1, "b": None, "c": None}, ["a", "b", "c"], cap=10))
+        assert out[0] == {"a": 1, "b": 0, "c": 0}
+        assert len(out) == 4
+
+    def test_cap_respected(self):
+        out = list(_completions({p: None for p in "abcdef"}, list("abcdef"), cap=5))
+        assert len(out) == 5
+
+
+class TestHdInference:
+    def test_recovers_center(self):
+        host = build_random_circuit(n_inputs=10, n_gates=50, n_outputs=4, seed=101)
+        locked = lock_sfll_hd(host, 8, h=2, seed=3)
+        center = locked.metadata["protected_center"]
+        ppis = list(locked.protected_inputs)
+        # fabricate protected patterns: flip exactly h=2 center bits
+        import itertools
+
+        patterns = []
+        for flip in itertools.combinations(range(len(ppis)), 2):
+            pattern = {p: int(center[p]) for p in ppis}
+            for i in flip:
+                pattern[ppis[i]] ^= 1
+            patterns.append(pattern)
+            if len(patterns) >= 10:
+                break
+        oracle = Oracle(locked.original)
+        key = infer_key_from_hd_constraints(
+            patterns, 2, ppis, locked.key_of_ppi, locked.circuit,
+            locked.key_inputs, oracle,
+        )
+        assert key is not None
+        assert all(key[k] == locked.correct_key[k] for k in locked.key_inputs)
+
+    def test_inconsistent_constraints_fail(self):
+        host = build_random_circuit(n_inputs=10, n_gates=50, n_outputs=4, seed=101)
+        locked = lock_sfll_hd(host, 8, h=1, seed=3)
+        ppis = list(locked.protected_inputs)
+        # all-zeros and all-ones cannot both be at HD 1 of any center (n=8)
+        patterns = [{p: 0 for p in ppis}, {p: 1 for p in ppis}]
+        oracle = Oracle(locked.original)
+        key = infer_key_from_hd_constraints(
+            patterns, 1, ppis, locked.key_of_ppi, locked.circuit,
+            locked.key_inputs, oracle,
+        )
+        assert key is None

@@ -1,0 +1,101 @@
+"""Tests for KRATT step 1: critical signal, unit extraction, association."""
+
+import pytest
+
+from conftest import build_random_circuit
+from repro.attacks.kratt import (
+    associate_ppi_keys,
+    extract_unit,
+    find_critical_signal,
+    unit_off_value,
+)
+from repro.locking import TECHNIQUES, lock_antisat, lock_sarlock, lock_ttlock
+from repro.synth import resynthesize
+
+
+@pytest.fixture(scope="module")
+def host():
+    return build_random_circuit(n_inputs=10, n_gates=60, n_outputs=5, seed=41)
+
+
+ALL = ["sarlock", "antisat", "caslock", "genantisat", "ttlock", "cac"]
+
+
+@pytest.mark.parametrize("technique", ALL)
+class TestCriticalSignal:
+    def test_found_on_plain_netlist(self, host, technique):
+        locked = TECHNIQUES[technique](host, 8, seed=3)
+        cs1 = find_critical_signal(locked.circuit, locked.key_inputs)
+        assert cs1 is not None
+
+    def test_found_after_resynthesis(self, host, technique):
+        locked = TECHNIQUES[technique](host, 8, seed=3)
+        syn = resynthesize(locked.circuit, seed=5, effort=2)
+        cs1 = find_critical_signal(syn, locked.key_inputs)
+        assert cs1 is not None
+
+    def test_usc_has_no_key_influence(self, host, technique):
+        locked = TECHNIQUES[technique](host, 8, seed=3)
+        extraction = extract_unit(locked.circuit, locked.key_inputs)
+        from repro.netlist.cone import transitive_fanout
+
+        still = transitive_fanout(
+            extraction.usc,
+            [k for k in locked.key_inputs if k in extraction.usc.signals],
+        )
+        assert not (still & set(extraction.usc.outputs))
+
+    def test_unit_inputs_partition(self, host, technique):
+        locked = TECHNIQUES[technique](host, 8, seed=3)
+        extraction = extract_unit(locked.circuit, locked.key_inputs)
+        assert set(extraction.key_inputs) <= set(locked.key_inputs)
+        assert not (set(extraction.protected_inputs) & set(locked.key_inputs))
+
+
+class TestNoCriticalSignal:
+    def test_xor_lock_has_none(self, host):
+        from repro.locking import lock_xor
+
+        locked = lock_xor(host, 6, seed=1)
+        assert find_critical_signal(locked.circuit, locked.key_inputs) is None
+
+    def test_extract_raises(self, host):
+        from repro.locking import lock_xor
+
+        locked = lock_xor(host, 6, seed=1)
+        with pytest.raises(ValueError):
+            extract_unit(locked.circuit, locked.key_inputs)
+
+
+class TestAssociation:
+    def test_sarlock_one_key_per_ppi(self, host):
+        locked = lock_sarlock(host, 8, seed=4)
+        extraction = extract_unit(locked.circuit, locked.key_inputs)
+        truth = locked.key_of_ppi
+        for ppi, keys in truth.items():
+            assert extraction.key_of_ppi[ppi][0] == keys[0]
+        assert extraction.keys_per_ppi == 1
+
+    def test_antisat_two_keys_per_ppi(self, host):
+        locked = lock_antisat(host, 8, seed=4)
+        extraction = extract_unit(locked.circuit, locked.key_inputs)
+        assert extraction.keys_per_ppi == 2
+        for ppi, keys in locked.key_of_ppi.items():
+            assert set(extraction.key_of_ppi[ppi]) == set(keys)
+
+    def test_association_survives_resynthesis(self, host):
+        locked = lock_ttlock(host, 8, seed=4)
+        syn = resynthesize(locked.circuit, seed=6, effort=2)
+        extraction = extract_unit(syn, locked.key_inputs)
+        correct = 0
+        for ppi, keys in locked.key_of_ppi.items():
+            if extraction.key_of_ppi.get(ppi, ())[:1] == keys[:1]:
+                correct += 1
+        assert correct >= len(locked.key_of_ppi) * 0.75
+
+
+class TestOffValue:
+    def test_point_function_units_rest_low(self, host):
+        locked = lock_sarlock(host, 8, seed=5)
+        extraction = extract_unit(locked.circuit, locked.key_inputs)
+        assert unit_off_value(extraction.unit, extraction.critical_signal) == 0

@@ -1,0 +1,192 @@
+"""Tests for every locking technique: correctness contracts."""
+
+import pytest
+
+from conftest import build_random_circuit
+from repro.locking import (
+    DFLT_TECHNIQUES,
+    SFLT_TECHNIQUES,
+    TECHNIQUES,
+    format_key,
+    int_to_key,
+    key_hamming_distance,
+    key_to_int,
+    lock_antisat,
+    lock_cac,
+    lock_genantisat,
+    lock_sarlock,
+    lock_sfll_hd,
+    lock_ttlock,
+    lock_xor,
+    random_key,
+)
+from repro.netlist import check_equivalent
+from repro.netlist.simulate import simulate_patterns
+
+
+@pytest.fixture(scope="module")
+def host():
+    return build_random_circuit(n_inputs=8, n_gates=40, n_outputs=4, seed=11)
+
+
+ALL_LOCKS = [
+    ("sarlock", lambda h: lock_sarlock(h, 6, seed=2)),
+    ("antisat", lambda h: lock_antisat(h, 6, seed=2)),
+    ("caslock", lambda h: TECHNIQUES["caslock"](h, 6, seed=2)),
+    ("genantisat", lambda h: lock_genantisat(h, 6, seed=2)),
+    ("ttlock", lambda h: lock_ttlock(h, 6, seed=2)),
+    ("cac", lambda h: lock_cac(h, 6, seed=2)),
+    ("sfll_hd", lambda h: lock_sfll_hd(h, 6, h=1, seed=2)),
+    ("xor_lock", lambda h: lock_xor(h, 6, seed=2)),
+]
+
+
+@pytest.mark.parametrize("name,lock", ALL_LOCKS, ids=[n for n, _ in ALL_LOCKS])
+class TestLockContracts:
+    def test_correct_key_unlocks(self, host, name, lock):
+        locked = lock(host)
+        verdict, cex = check_equivalent(host, locked.with_key(locked.correct_key))
+        assert verdict is True, cex
+
+    def test_interface(self, host, name, lock):
+        locked = lock(host)
+        assert set(host.inputs).issubset(set(locked.circuit.inputs))
+        assert tuple(locked.circuit.outputs) == tuple(host.outputs)
+        assert set(locked.key_inputs).issubset(set(locked.circuit.inputs))
+
+    def test_key_width(self, host, name, lock):
+        locked = lock(host)
+        assert locked.key_width == 6
+        assert set(locked.correct_key) == set(locked.key_inputs)
+
+    def test_deterministic(self, host, name, lock):
+        a, b = lock(host), lock(host)
+        assert a.correct_key == b.correct_key
+        assert [g.name for g in a.circuit.gates()] == [g.name for g in b.circuit.gates()]
+
+
+class TestWrongKeys:
+    def test_sarlock_wrong_key_flips_one_pattern(self, host):
+        locked = lock_sarlock(host, 6, seed=3)
+        wrong = dict(locked.correct_key)
+        first = locked.key_inputs[0]
+        wrong[first] = not wrong[first]
+        verdict, cex = check_equivalent(host, locked.with_key(wrong))
+        assert verdict is False
+
+    def test_antisat_misaligned_key_corrupts(self, host):
+        locked = lock_antisat(host, 6, seed=3)
+        ka = locked.key_inputs[: locked.key_width // 2]
+        wrong = dict(locked.correct_key)
+        wrong[ka[0]] = not wrong[ka[0]]
+        verdict, _ = check_equivalent(host, locked.with_key(wrong))
+        assert verdict is False
+
+    def test_antisat_any_aligned_pair_unlocks(self, host):
+        locked = lock_antisat(host, 6, seed=3)
+        half = locked.key_width // 2
+        ka = locked.key_inputs[:half]
+        kb = locked.key_inputs[half:]
+        other = {k: not locked.correct_key[k] for k in ka}
+        other.update({k2: not locked.correct_key[k2] for k2 in kb})
+        verdict, _ = check_equivalent(host, locked.with_key(other))
+        assert verdict is True  # aligned family member
+
+    def test_genantisat_alignment_is_offset(self, host):
+        locked = lock_genantisat(host, 6, seed=3)
+        half = locked.key_width // 2
+        ka = locked.key_inputs[:half]
+        kb = locked.key_inputs[half:]
+        # equal pair (delta=0) must NOT unlock (alpha != beta)
+        equal = {k: False for k in locked.key_inputs}
+        verdict, _ = check_equivalent(host, locked.with_key(equal))
+        assert verdict is False
+        # the designated offset family must unlock under complement too
+        flipped = {k: not locked.correct_key[k] for k in locked.key_inputs}
+        verdict, _ = check_equivalent(host, locked.with_key(flipped))
+        assert verdict is True
+
+    def test_ttlock_corruption_at_protected_pattern(self, host):
+        locked = lock_ttlock(host, 6, seed=3)
+        pattern = locked.metadata["protected_pattern"]
+        wrong = {k: not v for k, v in locked.correct_key.items()}
+        # at the protected pattern, wrong key leaves the flip uncorrected
+        base = {s: 0 for s in host.inputs}
+        base.update({p: int(v) for p, v in pattern.items()})
+        orig = simulate_patterns(host, [base])[0]
+        keyed = locked.with_key(wrong)
+        got = simulate_patterns(keyed, [base])[0]
+        flip_out = locked.metadata["flip_output"]
+        assert got[flip_out] != orig[flip_out]
+
+    def test_cac_wrong_key_single_corruption(self, host):
+        locked = lock_cac(host, 6, seed=3)
+        wrong = {k: not v for k, v in locked.correct_key.items()}
+        verdict, cex = check_equivalent(host, locked.with_key(wrong))
+        assert verdict is False
+        # corruption located exactly at PPI == wrong key
+        ppi_vals = {p: wrong[locked.key_of_ppi[p][0]] for p in locked.protected_inputs}
+        for p, v in ppi_vals.items():
+            assert bool(cex[p]) == bool(v)
+
+    def test_sfll_hd_protects_shell(self, host):
+        locked = lock_sfll_hd(host, 6, h=1, seed=4)
+        center = locked.metadata["protected_center"]
+        wrong = {k: not v for k, v in locked.correct_key.items()}
+        keyed = locked.with_key(wrong)
+        # flip one center bit -> HD = 1 -> perturbed, restore misses
+        ppis = list(locked.protected_inputs)
+        base = {s: 0 for s in host.inputs}
+        base.update({p: int(center[p]) for p in ppis})
+        base[ppis[0]] ^= 1
+        orig = simulate_patterns(host, [base])[0]
+        got = simulate_patterns(keyed, [base])[0]
+        flip_out = locked.metadata["flip_output"]
+        assert got[flip_out] != orig[flip_out]
+
+
+class TestKeyHelpers:
+    def test_int_roundtrip(self):
+        names = ("k0", "k1", "k2")
+        for value in range(8):
+            key = int_to_key(value, names)
+            assert key_to_int(key, names) == value
+
+    def test_hamming(self):
+        a = {"k0": True, "k1": False}
+        b = {"k0": False, "k1": False}
+        assert key_hamming_distance(a, b) == 1
+
+    def test_format(self):
+        key = {"k0": True, "k1": False, "k2": True}
+        assert format_key(key, ("k0", "k1", "k2")) == "101"
+
+    def test_random_key_deterministic(self):
+        import random
+
+        names = tuple(f"k{i}" for i in range(8))
+        a = random_key(names, random.Random(5))
+        b = random_key(names, random.Random(5))
+        assert a == b
+
+
+class TestErrors:
+    def test_odd_width_rejected_for_two_key_blocks(self, host):
+        with pytest.raises(ValueError):
+            lock_antisat(host, 5)
+        with pytest.raises(ValueError):
+            lock_genantisat(host, 7)
+
+    def test_too_many_ppis_rejected(self, host):
+        from repro.locking import LockingError
+
+        with pytest.raises(LockingError):
+            lock_sarlock(host, 99)
+
+    def test_sfll_h_bounds(self, host):
+        with pytest.raises(ValueError):
+            lock_sfll_hd(host, 4, h=5)
+
+    def test_registry_completeness(self):
+        assert set(SFLT_TECHNIQUES) <= set(TECHNIQUES)
+        assert set(DFLT_TECHNIQUES) <= set(TECHNIQUES)

@@ -1,0 +1,97 @@
+"""Tests for the removal attack [25] and Section V reconstruction."""
+
+import pytest
+
+from conftest import build_random_circuit
+from repro.attacks import Oracle, kratt_og_attack, reconstruct_original, removal_attack
+from repro.locking import lock_antisat, lock_sarlock, lock_sfll_flex, lock_ttlock
+from repro.netlist import check_equivalent
+
+
+@pytest.fixture(scope="module")
+def host():
+    return build_random_circuit(n_inputs=10, n_gates=60, n_outputs=5, seed=111)
+
+
+class TestRemovalAttack:
+    @pytest.mark.parametrize("lock", [lock_sarlock, lock_antisat],
+                             ids=["sarlock", "antisat"])
+    def test_sflt_removal_recovers_original(self, host, lock):
+        locked = lock(host, 8, seed=1)
+        result = removal_attack(locked.circuit, locked.key_inputs)
+        assert result.success
+        assert set(result.circuit.inputs) == set(host.inputs)
+        verdict, cex = check_equivalent(host, result.circuit)
+        assert verdict is True, cex
+
+    def test_dflt_removal_leaves_fsc(self, host):
+        # On a DFLT the stripped circuit is the FSC: wrong at exactly the
+        # protected pattern (the removal attack's known limitation).
+        locked = lock_ttlock(host, 8, seed=1)
+        result = removal_attack(locked.circuit, locked.key_inputs)
+        assert result.success
+        verdict, cex = check_equivalent(host, result.circuit)
+        assert verdict is False
+        pattern = locked.metadata["protected_pattern"]
+        assert all(bool(cex[p]) == bool(v) for p, v in pattern.items())
+
+    def test_key_inputs_dropped(self, host):
+        locked = lock_sarlock(host, 8, seed=2)
+        result = removal_attack(locked.circuit, locked.key_inputs)
+        assert not (set(result.circuit.inputs) & set(locked.key_inputs))
+
+
+class TestReconstruction:
+    def test_ttlock_reconstruction(self, host):
+        locked = lock_ttlock(host, 8, seed=3)
+        oracle = Oracle(locked.original)
+        result = reconstruct_original(locked.circuit, locked.key_inputs, oracle)
+        assert result.success
+        assert len(result.protected_patterns) == 1
+        verdict, cex = check_equivalent(host, result.circuit)
+        assert verdict is True, cex
+
+    def test_sfll_flex_reconstruction(self, host):
+        # Section V: the key cannot be named, the circuit can be rebuilt.
+        locked = lock_sfll_flex(host, 6, cubes=2, seed=3)
+        oracle = Oracle(locked.original)
+        result = reconstruct_original(locked.circuit, locked.key_inputs, oracle)
+        assert result.success
+        assert len(result.protected_patterns) == 2
+        verdict, cex = check_equivalent(host, result.circuit)
+        assert verdict is True, cex
+
+
+class TestSfllFlex:
+    def test_correct_key_unlocks(self, host):
+        locked = lock_sfll_flex(host, 6, cubes=2, seed=4)
+        verdict, cex = check_equivalent(host, locked.with_key(locked.correct_key))
+        assert verdict is True, cex
+
+    def test_key_width(self, host):
+        locked = lock_sfll_flex(host, 6, cubes=3, seed=4)
+        assert locked.key_width == 18
+        assert len(locked.protected_inputs) == 6
+
+    def test_cubes_are_distinct(self, host):
+        locked = lock_sfll_flex(host, 6, cubes=3, seed=4)
+        cubes = [tuple(sorted(c.items())) for c in locked.metadata["cubes"]]
+        assert len(set(cubes)) == 3
+
+    def test_kratt_og_cannot_name_full_key(self, host):
+        # The paper's Section V claim: with a multi-cube store no attack
+        # recovers the secret key.  KRATT's sampling-based verification
+        # may accept a single-cube candidate, but the key is provably not
+        # functional — the circuit stays locked.
+        from repro.attacks import score_key
+
+        locked = lock_sfll_flex(host, 6, cubes=2, seed=5)
+        oracle = Oracle(locked.original)
+        result = kratt_og_attack(
+            locked.circuit, locked.key_inputs, oracle,
+            qbf_time_limit=1, pattern_budget=512,
+        )
+        if result.success:
+            assert score_key(locked, result.key).functional is False
+        else:
+            assert not result.key or None in result.key.values()

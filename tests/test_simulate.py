@@ -1,0 +1,76 @@
+"""Tests for bit-parallel simulation helpers."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import build_random_circuit
+from repro.netlist.simulate import (
+    exhaustive_patterns,
+    outputs_differ,
+    pack_patterns,
+    random_patterns,
+    simulate_exhaustive,
+    simulate_patterns,
+    unpack_word,
+)
+
+
+class TestPatterns:
+    def test_exhaustive_patterns_enumerate_all(self):
+        assignment, mask = exhaustive_patterns(["a", "b", "c"])
+        assert mask == (1 << 8) - 1
+        seen = set()
+        for j in range(8):
+            bits = tuple((assignment[n] >> j) & 1 for n in ("a", "b", "c"))
+            seen.add(bits)
+        assert len(seen) == 8
+
+    def test_exhaustive_pattern_convention(self):
+        # pattern j assigns bit i of j to names[i]
+        assignment, _ = exhaustive_patterns(["a", "b"])
+        for j in range(4):
+            assert (assignment["a"] >> j) & 1 == (j >> 0) & 1
+            assert (assignment["b"] >> j) & 1 == (j >> 1) & 1
+
+    def test_pack_and_unpack(self):
+        words, mask = pack_patterns(["a", "b"], [(0, 1), (1, 1), (1, 0)])
+        assert mask == 0b111
+        assert unpack_word(words["a"], 3) == [0, 1, 1]
+        assert unpack_word(words["b"], 3) == [1, 1, 0]
+
+    def test_pack_dict_patterns(self):
+        words, _ = pack_patterns(["a"], [{"a": 1}, {"a": 0}])
+        assert words["a"] == 0b01
+
+    def test_random_patterns_in_range(self):
+        words, mask = random_patterns(["a", "b"], 40)
+        assert words["a"] <= mask
+
+
+class TestSimulation:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_bit_parallel_matches_scalar(self, seed):
+        circuit = build_random_circuit(n_inputs=4, n_gates=12, seed=seed)
+        table = simulate_exhaustive(circuit)
+        for j, expected in enumerate(table):
+            scalar = {n: (j >> i) & 1 for i, n in enumerate(circuit.inputs)}
+            out = circuit.output_vector(scalar, 1)
+            assert out == expected
+
+    def test_simulate_patterns_defaults(self, majority_circuit):
+        rows = simulate_patterns(majority_circuit, [{"a": 1, "b": 1}], defaults={"c": 0})
+        assert rows[0]["f"] == 1
+
+    def test_outputs_differ_finds_witness(self, majority_circuit):
+        broken = majority_circuit.copy("broken")
+        broken.replace_gate("f", "AND", ("ab", "ac", "bc"))
+        witness = outputs_differ(majority_circuit, broken, count=256)
+        assert witness is not None
+        a = majority_circuit.output_vector({k: int(v) for k, v in witness.items()})
+        b = broken.output_vector({k: int(v) for k, v in witness.items()})
+        assert a != b
+
+    def test_outputs_differ_none_for_copy(self, majority_circuit):
+        assert outputs_differ(majority_circuit, majority_circuit.copy(), count=64) is None

@@ -1,0 +1,172 @@
+"""Tests for the CDCL SAT solver, including brute-force cross-checks."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat import CNF, Solver, luby, solve_cnf
+
+
+def brute_force(n, clauses, forced=()):
+    for bits in itertools.product([False, True], repeat=n):
+        if any((lit > 0) != bits[abs(lit) - 1] for lit in forced):
+            continue
+        if all(any((lit > 0) == bits[abs(lit) - 1] for lit in cl) for cl in clauses):
+            return True
+    return False
+
+
+clause_strategy = st.lists(
+    st.lists(
+        st.integers(1, 8).flatmap(lambda v: st.sampled_from([v, -v])),
+        min_size=1,
+        max_size=3,
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert Solver().solve() is True
+
+    def test_unit_conflict(self):
+        s = Solver()
+        s.add_clause([1])
+        assert s.add_clause([-1]) is False
+        assert s.solve() is False
+
+    def test_simple_sat_model(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        s.add_clause([-1])
+        assert s.solve() is True
+        assert s.model()[2] is True
+
+    def test_tautology_ignored(self):
+        s = Solver()
+        s.add_clause([1, -1])
+        assert s.solve() is True
+
+    def test_zero_literal_rejected(self):
+        with pytest.raises(ValueError):
+            Solver().add_clause([0])
+
+    def test_model_unavailable_after_unsat(self):
+        s = Solver()
+        s.add_clause([1])
+        s.add_clause([-1])
+        s.solve()
+        with pytest.raises(RuntimeError):
+            s.model()
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve([-1]) is True
+        assert s.model()[2] is True
+
+    def test_conflicting_assumptions(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve([-1, -2]) is False
+        # Formula itself still satisfiable.
+        assert s.solve() is True
+
+    def test_incremental_after_assumptions(self):
+        s = Solver()
+        s.add_clause([1, 2])
+        assert s.solve([-1]) is True
+        s.add_clause([-2])
+        assert s.solve([-1]) is False
+        assert s.solve() is True
+
+
+class TestBudget:
+    def test_conflict_budget_returns_none(self):
+        # Pigeonhole PHP(5,4): hard enough to exhaust a tiny budget.
+        s = Solver()
+        holes, pigeons = 4, 5
+        var = lambda p, h: p * holes + h + 1
+        for p in range(pigeons):
+            s.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([-var(p1, h), -var(p2, h)])
+        assert s.solve(max_conflicts=5) is None
+
+    def test_pigeonhole_unsat(self):
+        s = Solver()
+        holes, pigeons = 3, 4
+        var = lambda p, h: p * holes + h + 1
+        for p in range(pigeons):
+            s.add_clause([var(p, h) for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([-var(p1, h), -var(p2, h)])
+        assert s.solve() is False
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            luby(0)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=120, deadline=None)
+    @given(clauses=clause_strategy)
+    def test_random_formulas(self, clauses):
+        s = Solver()
+        ok = True
+        for cl in clauses:
+            if not s.add_clause(cl):
+                ok = False
+                break
+        result = s.solve() if ok else False
+        expected = brute_force(8, clauses)
+        assert result == expected
+        if result:
+            model = s.model()
+            assign = [model.get(v, False) for v in range(9)]
+            assert all(
+                any((lit > 0) == assign[abs(lit)] for lit in cl) for cl in clauses
+            )
+
+    @settings(max_examples=60, deadline=None)
+    @given(clauses=clause_strategy, assumption=st.integers(1, 8),
+           sign=st.sampled_from([1, -1]))
+    def test_random_with_assumptions(self, clauses, assumption, sign):
+        lit = sign * assumption
+        s = Solver()
+        ok = True
+        for cl in clauses:
+            if not s.add_clause(cl):
+                ok = False
+                break
+        result = s.solve([lit]) if ok else False
+        expected = brute_force(8, clauses, forced=[lit])
+        assert result == expected
+
+
+class TestSolveCnf:
+    def test_one_shot(self):
+        cnf = CNF()
+        a = cnf.new_var("a")
+        b = cnf.new_var("b")
+        cnf.add_clause([a, b])
+        cnf.add_clause([-a])
+        status, model = solve_cnf(cnf)
+        assert status is True
+        assert model[b] is True

@@ -1,0 +1,63 @@
+"""Tests for structural hashing."""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import build_random_circuit
+from repro.netlist import Circuit, check_equivalent, structural_hash
+
+
+class TestStructuralHash:
+    def test_merges_duplicates(self):
+        c = Circuit("dup")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g1", "AND", ("a", "b"))
+        c.add_gate("g2", "AND", ("b", "a"))  # commutative duplicate
+        c.add_gate("f", "XOR", ("g1", "g2"))
+        c.set_outputs(["f"])
+        hashed, merged = structural_hash(c)
+        assert merged == 1
+        assert check_equivalent(c, hashed)[0] is True
+
+    def test_buffer_forwarding(self):
+        c = Circuit("buf")
+        c.add_input("a")
+        c.add_gate("b1", "BUF", ("a",))
+        c.add_gate("f", "NOT", ("b1",))
+        c.set_outputs(["f"])
+        hashed, merged = structural_hash(c)
+        assert merged == 1
+        assert hashed.gate("f").fanins == ("a",)
+
+    def test_output_names_preserved(self):
+        c = Circuit("o")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g1", "OR", ("a", "b"))
+        c.add_gate("g2", "OR", ("a", "b"))
+        c.set_outputs(["g1", "g2"])
+        hashed, merged = structural_hash(c)
+        assert merged == 1
+        assert hashed.outputs == ("g1", "g2")
+        assert check_equivalent(c, hashed)[0] is True
+
+    def test_chained_merges(self):
+        c = Circuit("chain")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("g1", "AND", ("a", "b"))
+        c.add_gate("g2", "AND", ("a", "b"))
+        c.add_gate("u1", "NOT", ("g1",))
+        c.add_gate("u2", "NOT", ("g2",))  # becomes duplicate after g-merge
+        c.add_gate("f", "OR", ("u1", "u2"))
+        c.set_outputs(["f"])
+        hashed, merged = structural_hash(c)
+        assert merged == 2
+        assert check_equivalent(c, hashed)[0] is True
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 200))
+    def test_function_preserved_on_random_circuits(self, seed):
+        c = build_random_circuit(n_inputs=5, n_gates=25, seed=seed)
+        hashed, _ = structural_hash(c)
+        assert check_equivalent(c, hashed)[0] is True

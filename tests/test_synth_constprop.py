@@ -1,0 +1,83 @@
+"""Tests for constant propagation, DCE, and feature extraction."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import build_random_circuit
+from repro.netlist.simulate import simulate_patterns
+from repro.synth import (
+    circuit_features,
+    dead_code_eliminate,
+    propagate_constants,
+)
+
+
+class TestPropagateConstants:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 300), pins=st.integers(1, 3), bits=st.integers(0, 7))
+    def test_function_preserved_on_free_inputs(self, seed, pins, bits):
+        circuit = build_random_circuit(n_inputs=6, n_gates=20, seed=seed)
+        pinned = {f"x{i}": bool((bits >> i) & 1) for i in range(pins)}
+        folded, _ = propagate_constants(circuit, pinned)
+        free = [s for s in circuit.inputs if s not in pinned]
+        for values in itertools.islice(itertools.product([0, 1], repeat=len(free)), 16):
+            pattern = dict(zip(free, values))
+            full = dict(pattern)
+            full.update({k: int(v) for k, v in pinned.items()})
+            expected = simulate_patterns(circuit, [full])[0]
+            got = simulate_patterns(folded, [pattern])[0]
+            assert got == expected
+
+    def test_folding_counts(self, majority_circuit):
+        folded, count = propagate_constants(majority_circuit, {"a": False})
+        # ab and ac collapse to 0, f simplifies
+        assert count >= 2
+        assert folded.gate("ab").is_constant
+
+    def test_pinned_inputs_removed_from_interface(self, majority_circuit):
+        folded, _ = propagate_constants(majority_circuit, {"a": True})
+        assert "a" not in folded.inputs
+        assert folded.has_signal("a")
+
+    def test_no_pins_is_identity_function(self, majority_circuit):
+        folded, _ = propagate_constants(majority_circuit, {})
+        from repro.netlist import check_equivalent
+
+        assert check_equivalent(majority_circuit, folded)[0] is True
+
+
+class TestDce:
+    def test_removes_unreachable(self, majority_circuit):
+        c = majority_circuit.copy()
+        c.add_gate("orphan", "NOT", ("a",))
+        cleaned, removed = dead_code_eliminate(c)
+        assert removed == 1
+        assert not cleaned.has_signal("orphan")
+
+    def test_keeps_interface(self, majority_circuit):
+        c = majority_circuit.copy()
+        c.add_gate("orphan", "NOT", ("a",))
+        cleaned, _ = dead_code_eliminate(c)
+        assert cleaned.inputs == majority_circuit.inputs
+
+
+class TestFeatures:
+    def test_area_ignores_buffers(self):
+        from repro.netlist import Circuit
+
+        c = Circuit("t")
+        c.add_input("a")
+        c.add_gate("b1", "BUF", ("a",))
+        c.add_gate("n1", "NOT", ("b1",))
+        c.set_outputs(["n1"])
+        feats = circuit_features(c, power_patterns=0)
+        assert feats.area == 1
+
+    def test_power_in_range(self, medium_circuit):
+        feats = circuit_features(medium_circuit, power_patterns=32)
+        assert 0.0 <= feats.power <= medium_circuit.num_signals * 0.25 + 1
+
+    def test_depth_matches(self, majority_circuit):
+        feats = circuit_features(majority_circuit, power_patterns=0)
+        assert feats.depth == 2

@@ -1,0 +1,88 @@
+"""Every rewrite pass and the resynthesis driver preserve the function."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from conftest import build_random_circuit
+from repro.netlist import check_equivalent
+from repro.synth import (
+    anonymize_internals,
+    demorgan_sample,
+    flatten_and_rebalance,
+    merge_inverter_pairs,
+    resynthesize,
+    sweep_buffers,
+    xor_decompose_sample,
+)
+
+PASSES = [
+    ("sweep_buffers", lambda c, r: sweep_buffers(c)),
+    ("merge_inverter_pairs", lambda c, r: merge_inverter_pairs(c)),
+    ("flatten_and_rebalance", lambda c, r: flatten_and_rebalance(c, r, 0.5)),
+    ("demorgan", lambda c, r: demorgan_sample(c, r, 0.8)),
+    ("xor_decompose", lambda c, r: xor_decompose_sample(c, r, 0.8)),
+    ("anonymize", lambda c, r: anonymize_internals(c, r)),
+]
+
+
+@pytest.mark.parametrize("name,fn", PASSES, ids=[n for n, _ in PASSES])
+class TestIndividualPasses:
+    def test_function_preserved(self, name, fn):
+        for seed in range(4):
+            circuit = build_random_circuit(n_inputs=6, n_gates=30, seed=seed)
+            out = fn(circuit.copy(), random.Random(seed))
+            verdict, cex = check_equivalent(circuit, out)
+            assert verdict is True, (name, seed, cex)
+
+    def test_interface_preserved(self, name, fn):
+        circuit = build_random_circuit(n_inputs=6, n_gates=30, seed=9)
+        out = fn(circuit.copy(), random.Random(0))
+        assert out.inputs == circuit.inputs
+        assert out.outputs == circuit.outputs
+
+
+class TestRepeatedApplication:
+    @pytest.mark.parametrize("name,fn", PASSES, ids=[n for n, _ in PASSES])
+    def test_double_application_safe(self, name, fn):
+        circuit = build_random_circuit(n_inputs=6, n_gates=30, seed=3)
+        rng = random.Random(7)
+        out = fn(fn(circuit.copy(), rng), rng)
+        verdict, cex = check_equivalent(circuit, out)
+        assert verdict is True, (name, cex)
+
+
+class TestResynthesize:
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 50), effort=st.integers(1, 3))
+    def test_equivalence(self, seed, effort):
+        circuit = build_random_circuit(n_inputs=6, n_gates=30, seed=seed % 5)
+        syn = resynthesize(circuit, seed=seed, effort=effort)
+        verdict, cex = check_equivalent(circuit, syn)
+        assert verdict is True, cex
+
+    def test_determinism(self):
+        circuit = build_random_circuit(n_inputs=6, n_gates=30, seed=1)
+        a = resynthesize(circuit, seed=42)
+        b = resynthesize(circuit, seed=42)
+        assert [(g.name, g.gtype, g.fanins) for g in a.gates()] == [
+            (g.name, g.gtype, g.fanins) for g in b.gates()
+        ]
+
+    def test_structural_diversity(self):
+        circuit = build_random_circuit(n_inputs=6, n_gates=30, seed=1)
+        a = resynthesize(circuit, seed=1)
+        b = resynthesize(circuit, seed=2)
+        sig_a = sorted((g.gtype.value, len(g.fanins)) for g in a.gates())
+        sig_b = sorted((g.gtype.value, len(g.fanins)) for g in b.gates())
+        assert sig_a != sig_b or a.depth() != b.depth()
+
+    def test_anonymization_hides_names(self):
+        from repro.locking import lock_sarlock
+
+        host = build_random_circuit(n_inputs=8, n_gates=30, seed=2)
+        locked = lock_sarlock(host, 4, seed=1)
+        syn = resynthesize(locked.circuit, seed=3)
+        internals = set(syn.signals) - set(syn.inputs) - set(syn.outputs)
+        assert not any(s.startswith("sarl") for s in internals)

@@ -1,0 +1,66 @@
+"""Tests for the SAT-window implication simplifier."""
+
+from repro.netlist import Circuit, check_equivalent
+from repro.synth import implication_simplify, simulation_observations
+
+
+def _absorb_circuit():
+    # f = AND(a, OR(a, b)) == a
+    c = Circuit("abs")
+    c.add_input("a")
+    c.add_input("b")
+    c.add_gate("o1", "OR", ("a", "b"))
+    c.add_gate("f", "AND", ("a", "o1"))
+    c.set_outputs(["f"])
+    return c
+
+
+class TestImplication:
+    def test_and_absorption(self):
+        c = _absorb_circuit()
+        out, rewrites = implication_simplify(c)
+        assert rewrites >= 1
+        assert check_equivalent(c, out)[0] is True
+        assert out.num_gates < c.num_gates
+
+    def test_exclusive_fanins_become_constant(self):
+        c = Circuit("x")
+        c.add_input("a")
+        c.add_gate("na", "NOT", ("a",))
+        c.add_gate("f", "AND", ("a", "na"))
+        c.set_outputs(["f"])
+        out, rewrites = implication_simplify(c)
+        assert rewrites >= 1
+        assert check_equivalent(c, out)[0] is True
+
+    def test_xor_of_equal_signals(self):
+        c = Circuit("x")
+        c.add_input("a")
+        c.add_input("b")
+        c.add_gate("u", "AND", ("a", "b"))
+        c.add_gate("w", "AND", ("b", "a"))
+        c.add_gate("f", "XOR", ("u", "w"))
+        c.set_outputs(["f"])
+        out, rewrites = implication_simplify(c)
+        assert rewrites >= 1
+        assert check_equivalent(c, out)[0] is True
+
+    def test_region_restriction(self):
+        c = _absorb_circuit()
+        out, rewrites = implication_simplify(c, region=["o1"])  # o1 has no relation
+        assert rewrites == 0
+
+    def test_observations_screen_probes(self):
+        c = _absorb_circuit()
+        obs = simulation_observations(c, patterns=64)
+        out, rewrites = implication_simplify(c, observations=obs)
+        assert rewrites >= 1
+        assert check_equivalent(c, out)[0] is True
+
+    def test_no_false_rewrites_on_random_logic(self):
+        from conftest import build_random_circuit
+
+        c = build_random_circuit(n_inputs=6, n_gates=25, seed=17)
+        obs = simulation_observations(c, patterns=96)
+        out, _ = implication_simplify(c, observations=obs, max_checks=50)
+        assert check_equivalent(c, out)[0] is True

@@ -1,0 +1,76 @@
+"""Tseitin encoding: CNF must agree with circuit simulation."""
+
+from hypothesis import given, settings, strategies as st
+
+from conftest import build_random_circuit
+from repro.netlist.simulate import simulate_exhaustive
+from repro.sat import Solver, encode_circuit
+from repro.sat.tseitin import encode_into_solver
+
+
+class TestEncodeCircuit:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 400))
+    def test_matches_simulation(self, seed):
+        circuit = build_random_circuit(n_inputs=4, n_gates=14, seed=seed)
+        table = simulate_exhaustive(circuit)
+        solver = Solver()
+        cnf, varmap = encode_circuit(circuit)
+        solver.add_cnf(cnf)
+        for j, outputs in enumerate(table):
+            assumptions = []
+            for i, name in enumerate(circuit.inputs):
+                var = varmap[name]
+                assumptions.append(var if (j >> i) & 1 else -var)
+            assert solver.solve(assumptions) is True
+            model = solver.model()
+            got = tuple(
+                int(model.get(varmap[o], False)) for o in circuit.outputs
+            )
+            assert got == outputs
+
+    def test_output_forcing(self, majority_circuit):
+        solver = Solver()
+        cnf, varmap = encode_circuit(majority_circuit)
+        cnf.add_clause([varmap["f"]])
+        solver.add_cnf(cnf)
+        assert solver.solve() is True
+        model = solver.model()
+        ones = sum(int(model.get(varmap[n], False)) for n in ("a", "b", "c"))
+        assert ones >= 2
+
+
+class TestEncodeIntoSolver:
+    def test_shared_variables_couple_copies(self, majority_circuit):
+        solver = Solver()
+        shared = {n: solver.new_var() for n in majority_circuit.inputs}
+        m1 = encode_into_solver(solver, majority_circuit, shared, suffix="#1")
+        m2 = encode_into_solver(solver, majority_circuit, shared, suffix="#2")
+        # Same inputs -> same outputs: f1 != f2 must be UNSAT.
+        d = solver.new_var()
+        a, b = m1["f"], m2["f"]
+        solver.add_clause([-a, -b, -d])
+        solver.add_clause([a, b, -d])
+        solver.add_clause([a, -b, d])
+        solver.add_clause([-a, b, d])
+        assert solver.solve([d]) is False
+
+    def test_fix_pins_inputs(self, majority_circuit):
+        solver = Solver()
+        varmap = encode_into_solver(
+            solver, majority_circuit, {}, fix={"a": True, "b": True, "c": False}
+        )
+        assert solver.solve() is True
+        assert solver.model()[varmap["f"]] is True
+
+    def test_skip_gates_shares_definitions(self, majority_circuit):
+        solver = Solver()
+        shared = {n: solver.new_var() for n in majority_circuit.inputs}
+        shared["ab"] = solver.new_var()
+        first = encode_into_solver(solver, majority_circuit, shared)
+        clauses_before = len(solver._clauses)
+        second = encode_into_solver(
+            solver, majority_circuit, shared, suffix="#2", skip_gates=["ab"]
+        )
+        assert first["ab"] == second["ab"]
+        assert len(solver._clauses) > clauses_before  # others re-encoded

@@ -1,0 +1,67 @@
+"""Tests for SAT-miter equivalence checking."""
+
+import pytest
+
+from conftest import build_random_circuit
+from repro.netlist import build_miter, check_equivalent, prove_signal_constant
+
+
+class TestMiter:
+    def test_miter_structure(self, majority_circuit):
+        miter = build_miter(majority_circuit, majority_circuit.copy())
+        assert miter.outputs == ("miter_out",)
+        assert set(majority_circuit.inputs).issubset(set(miter.inputs))
+
+    def test_interface_mismatch_rejected(self, majority_circuit):
+        other = build_random_circuit(n_inputs=3, n_gates=5, n_outputs=1, seed=9)
+        with pytest.raises(ValueError):
+            build_miter(majority_circuit, other)
+
+
+class TestEquivalence:
+    def test_equal_circuits(self, majority_circuit):
+        verdict, cex = check_equivalent(majority_circuit, majority_circuit.copy())
+        assert verdict is True and cex is None
+
+    def test_different_circuits(self, majority_circuit):
+        broken = majority_circuit.copy("broken")
+        broken.replace_gate("f", "AND", ("ab", "ac", "bc"))
+        verdict, cex = check_equivalent(majority_circuit, broken)
+        assert verdict is False
+        a = majority_circuit.output_vector({k: int(v) for k, v in cex.items()})
+        b = broken.output_vector({k: int(v) for k, v in cex.items()})
+        assert a != b
+
+    def test_assumption_restricted(self, majority_circuit):
+        # maj(a,b,c) == OR(b,c) under the assumption a=1
+        flat = majority_circuit.copy("flat")
+        flat.replace_gate("f", "OR", ("b", "c"))
+        flat.remove_gate("ab")
+        flat.remove_gate("ac")
+        flat.remove_gate("bc")
+        flat.add_gate("ab", "AND", ("a", "b"))
+        flat.add_gate("ac", "AND", ("a", "c"))
+        flat.add_gate("bc", "AND", ("b", "c"))
+        verdict, _ = check_equivalent(majority_circuit, flat, assumptions={"a": True})
+        assert verdict is True
+        verdict, _ = check_equivalent(majority_circuit, flat)
+        assert verdict is False
+
+
+class TestSignalConstant:
+    def test_constant_signal(self, majority_circuit):
+        c = majority_circuit.copy()
+        c.add_gate("never", "AND", ("a", "na"))
+        c.add_gate("na", "NOT", ("a",))
+        verdict, _ = prove_signal_constant(c, "never", 0)
+        assert verdict is True
+
+    def test_non_constant_signal(self, majority_circuit):
+        verdict, cex = prove_signal_constant(majority_circuit, "f", 0)
+        assert verdict is False and cex is not None
+
+    def test_fixed_inputs(self, majority_circuit):
+        verdict, _ = prove_signal_constant(
+            majority_circuit, "f", 1, fixed_inputs={"a": True, "b": True}
+        )
+        assert verdict is True
