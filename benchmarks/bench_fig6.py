@@ -7,7 +7,7 @@ the mean / standard deviation / max-min ratio the paper quotes
 the structural-analysis cost and a larger spread).
 """
 
-from conftest import emit
+from bench_utils import emit
 from repro.experiments import fig6_rows, format_table
 
 

@@ -1,0 +1,304 @@
+#!/usr/bin/env python
+"""Micro perf benchmarks: evaluation, SAT hot path, end-to-end KRATT.
+
+Emits ``benchmarks/results/BENCH_micro.json`` (machine-readable, see
+``repro.perf.write_bench_json``) so every perf PR has a recorded
+trajectory to beat.  Three sections:
+
+* **evaluation** — wide-word exhaustive sweeps over registry hosts, the
+  dict-keyed reference interpreter (``Circuit.evaluate_interpreted``)
+  versus the compiled engine (chunked sweep).  Results must be
+  bit-identical; the script exits non-zero otherwise.
+* **solver** — the overhauled CDCL versus the seed-revision baseline
+  (``benchmarks/legacy_solver.py``) on identical instances: a random
+  3-SAT instance near the phase transition and an UNSAT self-miter.
+  Records propagations/sec and conflicts/sec for both.
+* **kratt_flow** — end-to-end ``kratt_ol_attack`` / ``kratt_og_attack``
+  wall time on locked registry hosts.
+
+Run from the repo root (any of)::
+
+    PYTHONPATH=src python benchmarks/bench_micro.py
+    REPRO_SCALE=small PYTHONPATH=src python benchmarks/bench_micro.py --repeat 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import sys
+
+_HERE = pathlib.Path(__file__).resolve().parent
+_SRC = _HERE.parent / "src"
+for entry in (str(_SRC), str(_HERE)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+import legacy_solver  # noqa: E402  (benchmarks-local baseline)
+
+from repro.attacks.kratt.flow import kratt_og_attack, kratt_ol_attack  # noqa: E402
+from repro.attacks.oracle import Oracle  # noqa: E402
+from repro.benchgen.registry import generate_host, resolve_scale, scaled_key_width  # noqa: E402
+from repro.locking import TECHNIQUES  # noqa: E402
+from repro.netlist.simulate import exhaustive_patterns  # noqa: E402
+from repro.netlist.verify import build_miter  # noqa: E402
+from repro.perf import Timer, best_of, rate, write_bench_json  # noqa: E402
+from repro.sat.solver import Solver  # noqa: E402
+from repro.sat.tseitin import encode_circuit  # noqa: E402
+
+#: Per-scale knobs: (registry circuits, sweep width in inputs, 3-SAT vars).
+#: Sweep width stays at 13-14 bits at every scale: beyond ~2**14-bit
+#: words the raw bigint work dominates both evaluators and the
+#: comparison stops measuring dispatch overhead (chunking exists exactly
+#: so wider sweeps mean more chunks, not wider words).
+_SCALE_CONFIG = {
+    "tiny": (["c2670", "c5315", "c6288"], 13, 120),
+    "small": (["c2670", "c5315", "c6288", "b14_C"], 14, 180),
+    "paper": (["c2670", "c5315", "c6288", "b14_C", "b15_C"], 14, 260),
+}
+
+CHUNK_BITS = 13
+
+
+def bench_evaluation(circuits, sweep_bits, repeat):
+    rows = []
+    for name in circuits:
+        circuit = generate_host(name)
+        inputs = list(circuit.inputs)
+        sub = inputs[: min(sweep_bits, len(inputs))]
+        patterns = 1 << len(sub)
+
+        assignment, mask = exhaustive_patterns(sub)
+        for sig in inputs:
+            assignment.setdefault(sig, 0)
+
+        interp_s, interp_out = best_of(
+            lambda: circuit.evaluate_interpreted(assignment, mask, outputs_only=True),
+            repeat,
+        )
+        engine = circuit.compiled()
+        # Warm past the lazy-codegen threshold so the timed reps measure
+        # the compiled kernels, not the interpreted warmup runs.
+        for _ in range(3):
+            engine.exhaustive_outputs(sub, chunk_bits=CHUNK_BITS)
+        engine_s, engine_out = best_of(
+            lambda: engine.exhaustive_outputs(sub, chunk_bits=CHUNK_BITS)[0],
+            repeat,
+        )
+        identical = all(interp_out[o] == engine_out[o] for o in circuit.outputs)
+        gate_evals = circuit.num_gates * patterns
+        rows.append(
+            {
+                "circuit": name,
+                "gates": circuit.num_gates,
+                "swept_inputs": len(sub),
+                "patterns": patterns,
+                "interpreter_s": interp_s,
+                "engine_s": engine_s,
+                "speedup": interp_s / engine_s if engine_s else float("inf"),
+                "interpreter_gate_evals_per_s": rate(gate_evals, interp_s),
+                "engine_gate_evals_per_s": rate(gate_evals, engine_s),
+                "bit_identical": identical,
+            }
+        )
+    return rows
+
+
+def _random_3sat(num_vars, seed, ratio=4.2):
+    rng = random.Random(("bench3sat", seed, num_vars).__str__())
+    clauses = []
+    for _ in range(int(num_vars * ratio)):
+        vs = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append([v if rng.random() < 0.5 else -v for v in vs])
+    return clauses
+
+
+def _miter_instance(circuit_name):
+    """UNSAT instance: miter of a host against itself, cones unshared."""
+    circuit = generate_host(circuit_name)
+    miter = build_miter(circuit, circuit, share_common=False)
+    cnf, varmap = encode_circuit(miter)
+    clauses = [list(c) for c in cnf.clauses]
+    clauses.append([varmap["miter_out"]])
+    return cnf.num_vars, clauses
+
+
+def _run_solver(factory, num_vars, clauses, max_conflicts, repeat=3):
+    """Best-of-``repeat`` timing (fresh solver each rep: solving mutates)."""
+    best = None
+    for _ in range(max(1, repeat)):
+        solver = factory()
+        solver.ensure_vars(num_vars)
+        with Timer() as t:
+            ok = True
+            for clause in clauses:
+                if not solver.add_clause(clause):
+                    ok = False
+                    break
+            status = solver.solve(max_conflicts=max_conflicts) if ok else False
+        if best is None or t.elapsed < best["elapsed_s"]:
+            best = {
+                "status": status,
+                "elapsed_s": t.elapsed,
+                "conflicts": solver.conflicts,
+                "decisions": solver.decisions,
+                "propagations": solver.propagations,
+                "props_per_s": rate(solver.propagations, t.elapsed),
+                "conflicts_per_s": rate(solver.conflicts, t.elapsed),
+            }
+    return best
+
+
+def bench_solver(circuits, sat_vars, max_conflicts=20_000, repeat=3):
+    instances = [
+        ("random-3sat", sat_vars, _random_3sat(sat_vars, seed=1)),
+    ]
+    num_vars, clauses = _miter_instance(circuits[0])
+    instances.append((f"self-miter-{circuits[0]}", num_vars, clauses))
+
+    rows = []
+    for name, nv, cls in instances:
+        current = _run_solver(Solver, nv, cls, max_conflicts, repeat)
+        legacy = _run_solver(legacy_solver.Solver, nv, cls, max_conflicts, repeat)
+        rows.append(
+            {
+                "instance": name,
+                "vars": nv,
+                "clauses": len(cls),
+                "status_agreement": current["status"] == legacy["status"],
+                "current": current,
+                "legacy": legacy,
+                "prop_rate_ratio": (
+                    current["props_per_s"] / legacy["props_per_s"]
+                    if legacy["props_per_s"]
+                    else float("inf")
+                ),
+            }
+        )
+    return rows
+
+
+def bench_kratt_flow(circuits):
+    rows = []
+    host_name = circuits[0]
+    combos = [("ttlock", "ol"), ("sarlock", "og")]
+    for technique, mode in combos:
+        host = generate_host(host_name)
+        width = scaled_key_width(_spec(host_name))
+        locked = TECHNIQUES[technique](host, width, seed=3)
+        with Timer() as t:
+            if mode == "ol":
+                result = kratt_ol_attack(
+                    locked.circuit, locked.key_inputs, qbf_time_limit=5.0
+                )
+            else:
+                oracle = Oracle(locked.oracle_circuit())
+                result = kratt_og_attack(
+                    locked.circuit,
+                    locked.key_inputs,
+                    oracle,
+                    qbf_time_limit=5.0,
+                    time_limit=60.0,
+                )
+        rows.append(
+            {
+                "circuit": host_name,
+                "technique": technique,
+                "mode": mode,
+                "elapsed_s": t.elapsed,
+                "success": bool(result.success),
+                "method": result.details.get("method"),
+            }
+        )
+    return rows
+
+
+def _spec(name):
+    from repro.benchgen.registry import SPECS
+
+    return SPECS[name]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="repro scale (tiny/small/paper); default from REPRO_SCALE or tiny",
+    )
+    parser.add_argument("--repeat", type=int, default=3, help="best-of repetitions")
+    parser.add_argument(
+        "--out",
+        default=str(_HERE / "results" / "BENCH_micro.json"),
+        help="output JSON path",
+    )
+    parser.add_argument(
+        "--skip-flow", action="store_true", help="skip the end-to-end KRATT section"
+    )
+    args = parser.parse_args(argv)
+
+    os.environ.setdefault("REPRO_SCALE", "tiny")
+    if args.scale:
+        os.environ["REPRO_SCALE"] = args.scale
+    scale = resolve_scale()
+    circuits, sweep_bits, sat_vars = _SCALE_CONFIG[scale]
+
+    print(f"bench_micro: scale={scale} circuits={circuits}")
+    evaluation = bench_evaluation(circuits, sweep_bits, args.repeat)
+    for row in evaluation:
+        print(
+            f"  eval {row['circuit']:>8}: {row['speedup']:5.1f}x "
+            f"({row['engine_gate_evals_per_s']:.3g} gate-evals/s, "
+            f"bit_identical={row['bit_identical']})"
+        )
+    solver = bench_solver(circuits, sat_vars, repeat=args.repeat)
+    for row in solver:
+        print(
+            f"  sat {row['instance']:>20}: props/s "
+            f"{row['current']['props_per_s']:.3g} vs legacy "
+            f"{row['legacy']['props_per_s']:.3g} "
+            f"({row['prop_rate_ratio']:.2f}x)"
+        )
+    flow = [] if args.skip_flow else bench_kratt_flow(circuits)
+    for row in flow:
+        print(
+            f"  kratt-{row['mode']} {row['technique']:>8}: "
+            f"{row['elapsed_s']:.2f}s success={row['success']}"
+        )
+
+    payload = {
+        "bench": "micro",
+        "schema_version": 1,
+        "scale": scale,
+        "evaluation": evaluation,
+        "solver": solver,
+        "kratt_flow": flow,
+        "summary": {
+            "eval_min_speedup": min(r["speedup"] for r in evaluation),
+            "eval_all_bit_identical": all(r["bit_identical"] for r in evaluation),
+            "solver_min_prop_rate_ratio": min(
+                r["prop_rate_ratio"] for r in solver
+            ),
+            "solver_status_agreement": all(r["status_agreement"] for r in solver),
+        },
+    }
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    write_bench_json(out, payload)
+    print(f"wrote {out}")
+    print(json.dumps(payload["summary"], indent=2, sort_keys=True))
+
+    if not payload["summary"]["eval_all_bit_identical"]:
+        print("FATAL: engine results differ from the reference interpreter")
+        return 1
+    if not payload["summary"]["solver_status_agreement"]:
+        print("FATAL: overhauled solver disagrees with the baseline solver")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

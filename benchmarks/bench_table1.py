@@ -4,7 +4,7 @@ Regenerates the paper's benchmark-details table with the published
 interface sizes alongside the generated stand-in gate counts.
 """
 
-from conftest import emit
+from bench_utils import emit
 from repro.experiments import format_table, table1_rows
 
 

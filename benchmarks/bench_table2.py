@@ -5,7 +5,7 @@ KRATT breaks every SFLT through the QBF formulation and deciphers a
 large fraction of DFLT key bits through the modified-subcircuit SCOPE.
 """
 
-from conftest import emit
+from bench_utils import emit
 from repro.experiments import format_table, table2_rows
 
 

@@ -5,7 +5,7 @@ locks (OoT) while KRATT finds the secret key with modest run-time;
 SFLT rows fall to the QBF step, DFLT rows to structural analysis.
 """
 
-from conftest import emit
+from bench_utils import emit
 from repro.experiments import format_table, table3_rows
 
 

@@ -5,7 +5,7 @@ pair is non-complementary), SCOPE alone deciphers almost nothing, and
 KRATT's modified-locking-unit SCOPE deciphers all key inputs.
 """
 
-from conftest import emit
+from bench_utils import emit
 from repro.experiments import format_table, table4_rows
 
 

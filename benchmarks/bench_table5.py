@@ -5,7 +5,7 @@ large fraction of key inputs; the SAT attack is slow or OoT; KRATT-OG
 recovers the secret key of every circuit faster than the SAT attack.
 """
 
-from conftest import emit
+from bench_utils import emit
 from repro.experiments import format_table, table5_rows
 
 

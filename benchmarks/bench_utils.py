@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark scripts.
+
+Separate from ``conftest.py`` so benchmark modules never import the
+``conftest`` module name (two conftests in one pytest run shadow each
+other; see ``pyproject.toml``).
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def results_path():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir, name, text):
+    """Print a table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    (pathlib.Path(results_dir) / f"{name}.txt").write_text(text + "\n")

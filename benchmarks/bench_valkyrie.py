@@ -6,7 +6,7 @@ analysis broke the DFLTs.  This bench reproduces the census at
 reproduction scale over hosts x techniques x synthesis seeds.
 """
 
-from conftest import emit
+from bench_utils import emit
 from repro.experiments import format_table, valkyrie_rows
 
 

@@ -5,26 +5,21 @@ harness completes on a laptop; set ``REPRO_SCALE=small`` or
 ``REPRO_SCALE=paper`` for larger runs.  Each benchmark writes its
 paper-style table to ``benchmarks/results/`` and prints it (visible with
 ``pytest -s``).
+
+Helper functions live in :mod:`bench_utils`, not here: this file must
+stay import-light because pytest loads it under the shared module name
+``conftest`` (see ``pyproject.toml``).
 """
 
 import os
-import pathlib
 
 import pytest
 
-os.environ.setdefault("REPRO_SCALE", "tiny")
+from bench_utils import results_path
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+os.environ.setdefault("REPRO_SCALE", "tiny")
 
 
 @pytest.fixture(scope="session")
 def results_dir():
-    RESULTS_DIR.mkdir(exist_ok=True)
-    return RESULTS_DIR
-
-
-def emit(results_dir, name, text):
-    """Print a table and persist it under benchmarks/results/."""
-    print()
-    print(text)
-    (results_dir / f"{name}.txt").write_text(text + "\n")
+    return results_path()

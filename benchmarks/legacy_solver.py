@@ -1,29 +1,13 @@
-"""A CDCL SAT solver in pure Python (MiniSat-style).
+"""Pre-overhaul CDCL solver, kept verbatim as the perf baseline.
 
-This is the reproduction's substitute for cryptominisat [30]: a
-conflict-driven clause-learning solver with two-literal watching, 1-UIP
-conflict analysis, VSIDS branching with phase saving, Luby restarts, and
-learned-clause database reduction.  It supports incremental use (add
-clauses between ``solve`` calls) and solving under assumptions, which the
-attacks rely on heavily.
-
-The public interface speaks signed DIMACS literals (``-3`` = variable 3
-negated).  Internally every literal is the flat index ``2*var + sign``
-(positive literals even), so the hot loops never call ``abs()`` or build
-tuples: clauses are lists of encoded ints, the watch lists are indexed by
-encoded literal and carry *blocker literals* (a cached literal of the
-clause checked before the clause is touched at all — most watch visits
-end there), and propagation compacts each watch list in place with a
-read/write cursor instead of rebuilding it.
-
-``solve`` returns one of three values:
-
-* ``True``   — satisfiable; :meth:`model` yields a satisfying assignment;
-* ``False``  — unsatisfiable (under the given assumptions);
-* ``None``   — undecided because the conflict or time budget ran out.
-
-The solver is deterministic for a fixed clause insertion order.
+This is the seed revision of ``repro.sat.solver`` (signed literals with
+``abs()`` in the inner loops, no blocker literals, per-propagation watch
+list rebuilds).  ``bench_micro`` runs it against the current solver on
+identical instances so every BENCH_micro.json records the propagation-
+rate improvement of the overhauled hot path.  Not part of the library;
+do not import outside benchmarks.
 """
+
 
 from __future__ import annotations
 
@@ -69,25 +53,19 @@ class SolveResult:
 
 
 class Solver:
-    """Incremental CDCL SAT solver.
-
-    Internal literal encoding: ``enc = 2*var + sign`` with ``sign = 1``
-    for negative literals; ``enc ^ 1`` negates.  An encoded literal is
-    true iff ``_assign[enc >> 1] == (enc & 1) ^ 1``, false iff it equals
-    ``enc & 1``, and unassigned iff the slot is ``-1``.
-    """
+    """Incremental CDCL SAT solver."""
 
     def __init__(self):
         self._num_vars = 0
         self._clauses = []
         self._learnts = []
-        self._watches = [[], []]  # indexed by encoded literal; slots 0/1 unused
+        self._watches = [[], []]  # indexed by literal index; slots 0/1 unused
         self._assign = [_UNASSIGNED]  # by var; -1 / 0 / 1
         self._level = [0]
         self._reason = [None]
         self._activity = [0.0]
         self._phase = [0]
-        self._trail = []  # encoded literals
+        self._trail = []
         self._trail_lim = []
         self._qhead = 0
         self._order_heap = []
@@ -127,50 +105,40 @@ class Solver:
         return self._num_vars
 
     @staticmethod
-    def _encode(lit):
-        """Signed DIMACS literal -> flat ``2*var + sign`` index."""
-        return (lit << 1) if lit > 0 else ((-lit) << 1) | 1
-
-    def _enc_value(self, enc):
-        """Value of an encoded literal: 1 true, 0 false, -1 unassigned."""
-        v = self._assign[enc >> 1]
-        if v < 0:
-            return _UNASSIGNED
-        return v ^ (enc & 1)
+    def _lit_index(lit):
+        return (abs(lit) << 1) | (lit < 0)
 
     def _lit_value(self, lit):
-        """Value of a signed literal (compat shim over :meth:`_enc_value`)."""
         v = self._assign[abs(lit)]
         if v == _UNASSIGNED:
             return _UNASSIGNED
         return v ^ (lit < 0)
 
     def add_clause(self, literals):
-        """Add a problem clause (signed literals); False if now UNSAT."""
+        """Add a problem clause; returns False if the formula became UNSAT."""
         if not self._ok:
             return False
-        seen = set()
+        seen = {}
         clause = []
         for lit in literals:
             if lit == 0:
                 raise ValueError("0 is not a valid literal")
             var = abs(lit)
             self.ensure_vars(var)
-            enc = (var << 1) | (lit < 0)
-            if enc ^ 1 in seen:
+            if -lit in seen:
                 return True  # tautology: x | -x
-            if enc in seen:
+            if lit in seen:
                 continue
-            seen.add(enc)
+            seen[lit] = True
             # Drop literals already false at level 0; satisfied at level 0
             # makes the clause redundant.
             if not self._trail_lim:
-                val = self._enc_value(enc)
+                val = self._lit_value(lit)
                 if val == 1:
                     return True
                 if val == 0:
                     continue
-            clause.append(enc)
+            clause.append(lit)
 
         if not clause:
             self._ok = False
@@ -198,24 +166,21 @@ class Solver:
         return True
 
     def _attach(self, clause):
-        # watches[l] is visited when l becomes TRUE; a clause watching
-        # literal w must be visited when ~w becomes true, hence the ^1.
-        # The co-watched literal rides along as the blocker.
-        self._watches[clause[0] ^ 1].append((clause[1], clause))
-        self._watches[clause[1] ^ 1].append((clause[0], clause))
+        self._watches[self._lit_index(-clause[0])].append(clause)
+        self._watches[self._lit_index(-clause[1])].append(clause)
 
     # ------------------------------------------------------------------
     # trail management
     # ------------------------------------------------------------------
-    def _enqueue(self, enc, reason):
-        val = self._enc_value(enc)
+    def _enqueue(self, lit, reason):
+        val = self._lit_value(lit)
         if val != _UNASSIGNED:
             return val == 1
-        var = enc >> 1
-        self._assign[var] = (enc & 1) ^ 1
+        var = abs(lit)
+        self._assign[var] = 0 if lit < 0 else 1
         self._level[var] = len(self._trail_lim)
         self._reason[var] = reason
-        self._trail.append(enc)
+        self._trail.append(lit)
         return True
 
     def _new_decision_level(self):
@@ -226,7 +191,8 @@ class Solver:
             return
         bound = self._trail_lim[level]
         for i in range(len(self._trail) - 1, bound - 1, -1):
-            var = self._trail[i] >> 1
+            lit = self._trail[i]
+            var = abs(lit)
             self._phase[var] = self._assign[var]
             self._assign[var] = _UNASSIGNED
             self._reason[var] = None
@@ -239,74 +205,46 @@ class Solver:
     # propagation
     # ------------------------------------------------------------------
     def _propagate(self):
-        trail = self._trail
-        assign = self._assign
-        watches = self._watches
-        level = self._level
-        reason = self._reason
-        trail_lim = self._trail_lim
-        props = 0
-        while self._qhead < len(trail):
-            p = trail[self._qhead]
+        while self._qhead < len(self._trail):
+            lit = self._trail[self._qhead]
             self._qhead += 1
-            props += 1
-            false_lit = p ^ 1
-            wl = watches[p]
-            i = j = 0
-            n = len(wl)
+            self.propagations += 1
+            widx = self._lit_index(lit)
+            watch_list = self._watches[widx]
+            new_list = []
+            i = 0
+            n = len(watch_list)
+            conflict = None
             while i < n:
-                entry = wl[i]
+                clause = watch_list[i]
                 i += 1
-                blocker = entry[0]
-                bv = assign[blocker >> 1]
-                if bv >= 0 and bv != blocker & 1:
-                    # Blocker already true: clause satisfied, keep as-is.
-                    wl[j] = entry
-                    j += 1
-                    continue
-                clause = entry[1]
                 # Normalize: the false literal must sit in slot 1.
-                if clause[0] == false_lit:
-                    clause[0] = clause[1]
-                    clause[1] = false_lit
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
                 first = clause[0]
-                fv = assign[first >> 1]
-                if fv >= 0 and fv != first & 1:
-                    wl[j] = (first, clause)
-                    j += 1
+                if self._lit_value(first) == 1:
+                    new_list.append(clause)
                     continue
                 moved = False
                 for k in range(2, len(clause)):
-                    lk = clause[k]
-                    v = assign[lk >> 1]
-                    if v < 0 or v != lk & 1:
-                        clause[1] = lk
-                        clause[k] = false_lit
-                        watches[lk ^ 1].append((first, clause))
+                    if self._lit_value(clause[k]) != 0:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[self._lit_index(-clause[1])].append(clause)
                         moved = True
                         break
                 if moved:
                     continue
-                wl[j] = (first, clause)
-                j += 1
-                if fv >= 0:
-                    # first is false: conflict.  Keep remaining watchers.
-                    while i < n:
-                        wl[j] = wl[i]
-                        j += 1
-                        i += 1
-                    del wl[j:]
-                    self._qhead = len(trail)
-                    self.propagations += props
-                    return clause
-                # Unit: first is unassigned here — enqueue inline.
-                var = first >> 1
-                assign[var] = (first & 1) ^ 1
-                level[var] = len(trail_lim)
-                reason[var] = clause
-                trail.append(first)
-            del wl[j:]
-        self.propagations += props
+                new_list.append(clause)
+                if self._lit_value(first) == 0:
+                    # Conflict: keep the remaining watchers and bail out.
+                    new_list.extend(watch_list[i:])
+                    conflict = clause
+                    break
+                self._enqueue(first, clause)
+            self._watches[widx] = new_list
+            if conflict is not None:
+                self._qhead = len(self._trail)
+                return conflict
         return None
 
     # ------------------------------------------------------------------
@@ -325,31 +263,30 @@ class Solver:
     def _analyze(self, conflict):
         learnt = [0]
         seen = [False] * (self._num_vars + 1)
-        level = self._level
         counter = 0
-        p = -1  # sentinel: first round analyzes the whole conflict clause
+        p = None
         index = len(self._trail) - 1
         current_level = len(self._trail_lim)
 
         clause = conflict
         while True:
-            skip = p ^ 1
             for q in clause:
-                # Skip the literal this reason clause asserted (~p).
-                if q == skip:
+                # Skip the literal this reason clause asserted (-p): the
+                # first round (p is None) analyzes the whole conflict clause.
+                if p is not None and q == -p:
                     continue
-                var = q >> 1
-                if not seen[var] and level[var] > 0:
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
                     seen[var] = True
                     self._bump_var(var)
-                    if level[var] >= current_level:
+                    if self._level[var] >= current_level:
                         counter += 1
                     else:
                         learnt.append(q)
-            while not seen[self._trail[index] >> 1]:
+            while not seen[abs(self._trail[index])]:
                 index -= 1
-            p = self._trail[index] ^ 1
-            var = p >> 1
+            p = -self._trail[index]
+            var = abs(p)
             seen[var] = False
             index -= 1
             counter -= 1
@@ -360,14 +297,14 @@ class Solver:
 
         # Cheap clause minimization: drop literals implied by the rest.
         if len(learnt) > 1:
-            marked = set(l >> 1 for l in learnt)
+            marked = set(abs(l) for l in learnt)
             kept = [learnt[0]]
             for q in learnt[1:]:
-                reason = self._reason[q >> 1]
+                reason = self._reason[abs(q)]
                 if reason is not None and all(
-                    r >> 1 in marked or level[r >> 1] == 0
+                    abs(r) in marked or self._level[abs(r)] == 0
                     for r in reason
-                    if r != q ^ 1
+                    if r != -q
                 ):
                     continue
                 kept.append(q)
@@ -379,10 +316,10 @@ class Solver:
             # Second-highest decision level among learnt literals.
             max_i = 1
             for i in range(2, len(learnt)):
-                if level[learnt[i] >> 1] > level[learnt[max_i] >> 1]:
+                if self._level[abs(learnt[i])] > self._level[abs(learnt[max_i])]:
                     max_i = i
             learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
-            bt_level = level[learnt[1] >> 1]
+            bt_level = self._level[abs(learnt[1])]
         return learnt, bt_level
 
     # ------------------------------------------------------------------
@@ -427,7 +364,7 @@ class Solver:
             dead = set(id(c) for c in removed)
             for idx in range(2, len(self._watches)):
                 self._watches[idx] = [
-                    entry for entry in self._watches[idx] if id(entry[1]) not in dead
+                    c for c in self._watches[idx] if id(c) not in dead
                 ]
 
     def solve(self, assumptions=(), max_conflicts=None, time_limit=None):
@@ -438,10 +375,9 @@ class Solver:
             self.last_result = SolveResult(False, 0, 0, 0, 0.0)
             return False
 
-        enc_assumptions = []
+        assumptions = list(assumptions)
         for lit in assumptions:
             self.ensure_vars(abs(lit))
-            enc_assumptions.append(self._encode(lit))
 
         self._backtrack(0)
         if self._propagate() is not None:
@@ -511,9 +447,9 @@ class Solver:
 
             # Apply pending assumptions first, one decision level each.
             level = len(self._trail_lim)
-            if level < len(enc_assumptions):
-                enc = enc_assumptions[level]
-                val = self._enc_value(enc)
+            if level < len(assumptions):
+                lit = assumptions[level]
+                val = self._lit_value(lit)
                 if val == 1:
                     self._new_decision_level()
                     continue
@@ -521,7 +457,7 @@ class Solver:
                     status = False
                     break
                 self._new_decision_level()
-                self._enqueue(enc, None)
+                self._enqueue(lit, None)
                 continue
 
             var = self._pick_branch_var()
@@ -530,8 +466,8 @@ class Solver:
                 break
             self.decisions += 1
             self._new_decision_level()
-            enc = (var << 1) | (self._phase[var] != 1)
-            self._enqueue(enc, None)
+            lit = var if self._phase[var] == 1 else -var
+            self._enqueue(lit, None)
 
         elapsed = time.monotonic() - start
         if status is True:
@@ -572,14 +508,6 @@ class Solver:
             raise RuntimeError("no model available (last solve was not SAT)")
         value = self._model[var] if var < len(self._model) else _UNASSIGNED
         return value == 1
-
-    def stats_snapshot(self):
-        """Cumulative counters as a dict (used by the perf harness)."""
-        return {
-            "conflicts": self.conflicts,
-            "decisions": self.decisions,
-            "propagations": self.propagations,
-        }
 
 
 def solve_cnf(cnf, assumptions=(), max_conflicts=None, time_limit=None):

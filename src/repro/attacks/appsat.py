@@ -95,26 +95,28 @@ def appsat_attack(
         if iterations % reinforce_every:
             continue
 
-        # Reinforcement: random queries against the current candidate.
+        # Reinforcement: random queries against the current candidate,
+        # evaluated as a single wide-word pass through the compiled engine.
         candidate = engine.key_candidate()
         if candidate is None:
             return result(None, False, True, False)
-        keyed_inputs = dict(candidate)
         errors = 0
         patterns = [
             {s: bool(rng.getrandbits(1)) for s in data_inputs}
             for _ in range(random_queries)
         ]
-        observed = oracle.query_batch(patterns)
-        for pattern, y_obs in zip(patterns, observed):
-            full = dict(pattern)
-            full.update(keyed_inputs)
-            y_cand = circuit.evaluate(
-                {k: int(bool(v)) for k, v in full.items()}, 1, outputs_only=True
-            )
-            if any(y_cand[o] != y_obs[o] for o in circuit.outputs):
-                errors += 1
-                engine.add_io_constraint(pattern, y_obs)
+        if patterns:
+            observed = oracle.query_batch(patterns)
+            compiled = circuit.compiled()
+            words, mask = compiled.pack_input_words(patterns, fixed=candidate)
+            cand_words = compiled.output_words_from_list(words, mask)
+            for j, (pattern, y_obs) in enumerate(zip(patterns, observed)):
+                if any(
+                    ((word >> j) & 1) != y_obs[o]
+                    for o, word in zip(compiled.output_names, cand_words)
+                ):
+                    errors += 1
+                    engine.add_io_constraint(pattern, y_obs)
         if errors == 0:
             clean_rounds += 1
             if clean_rounds >= settle_rounds:

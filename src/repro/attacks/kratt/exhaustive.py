@@ -28,7 +28,6 @@ from dataclasses import dataclass, field
 from ...netlist.blocks import add_equals_const, add_popcount
 from ...netlist.circuit import Circuit
 from ...netlist.gate import GateType
-from ...netlist.simulate import pack_patterns
 from ...sat.solver import Solver
 from ...sat.tseitin import encode_into_solver
 
@@ -62,7 +61,11 @@ def _completions(assignment, ppis, cap):
 
 
 def _verify_key(locked, key_inputs, key, oracle, samples=128, extra_patterns=()):
-    """Cheap oracle-based key validation (random + targeted patterns)."""
+    """Cheap oracle-based key validation (random + targeted patterns).
+
+    All candidate-side evaluations run as one wide-word pass through the
+    compiled engine instead of one scalar evaluation per pattern.
+    """
     import random as _random
 
     rng = _random.Random(411)
@@ -76,12 +79,14 @@ def _verify_key(locked, key_inputs, key, oracle, samples=128, extra_patterns=())
     for _ in range(samples):
         patterns.append({s: rng.getrandbits(1) for s in data_inputs})
     observed = oracle.query_batch(patterns)
-    for pattern, y in zip(patterns, observed):
-        full = {s: pattern.get(s, 0) for s in data_inputs}
-        full.update(key_fixed)
-        got = locked.evaluate(full, 1, outputs_only=True)
-        if any(got[o] != y[o] for o in locked.outputs):
-            return False
+
+    engine = locked.compiled()
+    words, mask = engine.pack_input_words(patterns, fixed=key_fixed)
+    got_words = engine.output_words_from_list(words, mask)
+    for o, word in zip(engine.output_names, got_words):
+        for j, y in enumerate(observed):
+            if ((word >> j) & 1) != y[o]:
+                return False
     return True
 
 
@@ -117,7 +122,8 @@ def og_exhaustive_search(
     ppis = list(ppis)
     key_set = set(key_inputs)
     data_inputs = [s for s in locked.inputs if s not in key_set]
-    locked_input_order = list(locked.inputs)
+    engine = locked.compiled()
+    locked_outputs = engine.output_names
 
     result = OgSearchResult()
     queries_before = oracle.query_count
@@ -159,13 +165,13 @@ def og_exhaustive_search(
             full.update(_pattern_key(ppi_values, ppis, key_of_ppi, key_inputs))
             locked_patterns.append(full)
         oracle_out = oracle.query_batch(oracle_patterns)
-        words, mask = pack_patterns(locked_input_order, locked_patterns)
-        locked_out = locked.evaluate(words, mask, outputs_only=True)
+        words, mask = engine.pack_input_words(locked_patterns)
+        locked_words = engine.output_words_from_list(words, mask)
 
         for j, ppi_values in enumerate(batch):
             match = all(
-                ((locked_out[o] >> j) & 1) == oracle_out[j][o]
-                for o in locked.outputs
+                ((word >> j) & 1) == oracle_out[j][o]
+                for o, word in zip(locked_outputs, locked_words)
             )
             protected = {p: ppi_values[p] for p in ppis}
             if h == 0:

@@ -132,6 +132,8 @@ def _hd_firing_profile(extraction, samples=24, rng=None):
     cs1 = extraction.critical_signal
     others = [s for s in unit.inputs if s not in {p for p, _ in pairs}
               and s not in {k for _, k in pairs}]
+    engine = unit.compiled()
+    cs1_pos = engine.output_names.index(cs1)
     profile = {}
     for d in range(n + 1):
         patterns = []
@@ -145,7 +147,7 @@ def _hd_firing_profile(extraction, samples=24, rng=None):
                 pattern[s] = rng.getrandbits(1)
             patterns.append(pattern)
         words, mask = pack_patterns(list(unit.inputs), patterns)
-        word = unit.evaluate(words, mask, outputs_only=True)[cs1]
+        word = engine.output_words(words, mask)[cs1_pos]
         profile[d] = bin(word).count("1") / samples
     return profile
 

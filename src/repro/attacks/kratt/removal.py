@@ -193,10 +193,15 @@ def unit_off_value(unit, output=None, patterns=64, rng=None):
     ``cs1`` even after resynthesis inverted it.
     """
     output = output or unit.outputs[0]
+    engine = unit.compiled()
     if not unit.inputs:
-        word = unit.evaluate({}, 1, outputs_only=True)[output]
+        # Full-dict evaluation: ``output`` may be an internal signal.
+        word = engine.evaluate({}, 1)[output]
         return word & 1
     words, mask = random_patterns(list(unit.inputs), patterns, rng)
-    word = unit.evaluate(words, mask, outputs_only=True)[output]
+    if output in engine.output_names:
+        word = engine.output_words(words, mask)[engine.output_names.index(output)]
+    else:
+        word = engine.evaluate(words, mask)[output]
     ones = bin(word).count("1")
     return 1 if ones * 2 > patterns else 0

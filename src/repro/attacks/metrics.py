@@ -18,10 +18,11 @@ key inputs (Tables II, IV, V) — and whether the secret key was found
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
 
-from ..netlist.simulate import outputs_differ
+from ..netlist.simulate import random_patterns
 from ..netlist.verify import check_equivalent
 
 __all__ = ["KeyScore", "AttackResult", "score_key", "complete_partial_key"]
@@ -84,13 +85,48 @@ class AttackResult:
         )
 
 
+def _refutation_stimulus(locked, count):
+    """Key-independent half of the refutation: patterns + golden outputs.
+
+    Cached on the ``LockedCircuit`` — :func:`complete_partial_key` tries
+    up to ``2**missing`` candidates against the same stimulus.
+    """
+    cache = getattr(locked, "_refute_stimulus", None)
+    if cache is not None and cache[0] == count:
+        return cache[1:]
+    rng = random.Random(1234)
+    original = locked.original
+    words, mask = random_patterns(list(original.inputs), count, rng)
+    orig_out = original.compiled().evaluate(words, mask, outputs_only=True)
+    try:
+        locked._refute_stimulus = (count, words, mask, orig_out)
+    except (AttributeError, TypeError):
+        pass  # frozen dataclass: just recompute next time
+    return words, mask, orig_out
+
+
+def _random_refutes(locked, key, count=256):
+    """Random-simulation refutation of a candidate key.
+
+    Evaluates the locked netlist directly with the key bits pinned as
+    constant words — no keyed-circuit rebuild, so the compiled engines
+    of both the original and the locked netlist are reused across the
+    many candidates :func:`complete_partial_key` tries.
+    """
+    words, mask, orig_out = _refutation_stimulus(locked, count)
+    full = dict(words)
+    for k in locked.key_inputs:
+        full[k] = mask if key.get(k) else 0
+    keyed_out = locked.circuit.compiled().evaluate(full, mask, outputs_only=True)
+    return any(orig_out[o] ^ keyed_out[o] for o in locked.original.outputs)
+
+
 def _is_functional(locked, key, max_conflicts, time_limit):
     """Does ``key`` provably unlock the circuit?  True/False/None."""
-    keyed = locked.with_key(key)
     # Cheap refutation first: random simulation.
-    witness = outputs_differ(locked.original, keyed, count=256)
-    if witness is not None:
+    if _random_refutes(locked, key):
         return False
+    keyed = locked.with_key(key)
     verdict, _ = check_equivalent(
         locked.original, keyed, max_conflicts=max_conflicts, time_limit=time_limit
     )

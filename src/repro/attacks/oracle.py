@@ -9,8 +9,6 @@ netlist — and counts queries so experiments can report query budgets.
 
 from __future__ import annotations
 
-from ..netlist.simulate import pack_patterns
-
 __all__ = ["Oracle"]
 
 
@@ -43,11 +41,19 @@ class Oracle:
         (KRATT drives non-protected inputs to logic 0, matching the
         paper's exhaustive-search step).
         """
-        full = {name: defaults for name in self._circuit.inputs}
-        full.update({k: int(bool(v)) for k, v in assignment.items()})
+        engine = self._circuit.compiled()
+        base = 1 if defaults else 0
+        words = [base] * len(engine.input_names)
+        pos = {name: i for i, name in enumerate(engine.input_names)}
+        for name, value in assignment.items():
+            i = pos.get(name)
+            if i is not None:
+                words[i] = int(bool(value))
         self.query_count += 1
-        out = self._circuit.evaluate(full, 1, outputs_only=True)
-        return {name: out[name] & 1 for name in self._circuit.outputs}
+        out_words = engine.output_words_from_list(words, 1)
+        return {
+            name: word & 1 for name, word in zip(engine.output_names, out_words)
+        }
 
     def query_batch(self, patterns, defaults=0):
         """Apply many patterns in one bit-parallel pass.
@@ -56,23 +62,17 @@ class Oracle:
         returns a list of output dicts, one per pattern.  Counts as
         ``len(patterns)`` queries.
         """
-        names = list(self._circuit.inputs)
-        filled = []
-        for pattern in patterns:
-            full = {name: defaults for name in names}
-            full.update({k: int(bool(v)) for k, v in pattern.items()})
-            filled.append(full)
-        if not filled:
+        if not patterns:
             return []
-        words, mask = pack_patterns(names, filled)
-        self.query_count += len(filled)
-        out_words = self._circuit.evaluate(words, mask, outputs_only=True)
-        results = []
-        for j in range(len(filled)):
-            results.append(
-                {o: (out_words[o] >> j) & 1 for o in self._circuit.outputs}
-            )
-        return results
+        engine = self._circuit.compiled()
+        words, mask = engine.pack_input_words(patterns, default=defaults)
+        self.query_count += len(patterns)
+        out_words = engine.output_words_from_list(words, mask)
+        outputs = engine.output_names
+        return [
+            {o: (word >> j) & 1 for o, word in zip(outputs, out_words)}
+            for j in range(len(patterns))
+        ]
 
     def reset_count(self):
         self.query_count = 0

@@ -84,10 +84,10 @@ def _collect_protected_patterns(
     batch_size=256,
 ):
     """Scan candidate completions; return PPI patterns where FSC != oracle."""
-    from ..netlist.simulate import pack_patterns
     from .kratt.exhaustive import _completions
 
-    data_inputs = list(fsc.inputs)
+    engine = fsc.compiled()
+    data_inputs = list(engine.input_names)
     found = []
     seen = set()
     produced = 0
@@ -97,12 +97,13 @@ def _collect_protected_patterns(
         if not batch:
             return
         full = [{s: p.get(s, 0) for s in data_inputs} for p in batch]
-        words, mask = pack_patterns(data_inputs, full)
-        fsc_out = fsc.evaluate(words, mask, outputs_only=True)
+        words, mask = engine.pack_input_words(full)
+        fsc_words = engine.output_words_from_list(words, mask)
         oracle_out = oracle.query_batch(full)
         for j, ppi_values in enumerate(batch):
             mismatch = any(
-                ((fsc_out[o] >> j) & 1) != oracle_out[j][o] for o in fsc.outputs
+                ((word >> j) & 1) != oracle_out[j][o]
+                for o, word in zip(engine.output_names, fsc_words)
             )
             if mismatch:
                 key = tuple(ppi_values[p] for p in ppis)

@@ -2,6 +2,7 @@
 
 from .bench import parse_bench, parse_bench_file, write_bench, write_bench_file
 from .circuit import Circuit
+from .engine import CompiledCircuit
 from .cone import (
     cones_with_support_within,
     extract_cone,
@@ -28,6 +29,7 @@ from .verify import build_miter, check_equivalent, prove_signal_constant
 
 __all__ = [
     "Circuit",
+    "CompiledCircuit",
     "Gate",
     "GateType",
     "NetlistError",

@@ -36,6 +36,7 @@ class Circuit:
         self._outputs = []
         self._topo_cache = None
         self._fanout_cache = None
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------
     # construction
@@ -66,11 +67,15 @@ class Circuit:
     def add_output(self, name):
         """Mark an existing (or future) signal as a primary output."""
         self._outputs.append(name)
+        # Topological order and fanout are output-independent, but the
+        # compiled engine snapshots the output list at build time.
+        self._compiled_cache = None
         return name
 
     def set_outputs(self, names):
         """Replace the primary output list."""
         self._outputs = list(names)
+        self._compiled_cache = None
 
     def replace_gate(self, name, gtype, fanins):
         """Re-define the function of an existing non-input signal."""
@@ -96,10 +101,12 @@ class Circuit:
     def remove_output(self, name):
         """Remove one occurrence of ``name`` from the output list."""
         self._outputs.remove(name)
+        self._compiled_cache = None
 
     def _invalidate(self):
         self._topo_cache = None
         self._fanout_cache = None
+        self._compiled_cache = None
 
     # ------------------------------------------------------------------
     # accessors
@@ -239,8 +246,21 @@ class Circuit:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
+    def compiled(self):
+        """The cached :class:`~repro.netlist.engine.CompiledCircuit`.
+
+        Built on first use and invalidated by every structural mutation;
+        this is the fast path behind :meth:`evaluate` and the entry point
+        for the batch/sweep interfaces hot callers use directly.
+        """
+        if self._compiled_cache is None:
+            from .engine import CompiledCircuit
+
+            self._compiled_cache = CompiledCircuit(self)
+        return self._compiled_cache
+
     def evaluate(self, assignment, mask=1, outputs_only=False):
-        """Bit-parallel evaluation.
+        """Bit-parallel evaluation (compiled-engine fast path).
 
         Parameters
         ----------
@@ -255,6 +275,14 @@ class Circuit:
         Returns
         -------
         dict mapping signal name to value word.
+        """
+        return self.compiled().evaluate(assignment, mask, outputs_only)
+
+    def evaluate_interpreted(self, assignment, mask=1, outputs_only=False):
+        """Reference dict-keyed interpreter (pre-engine semantics).
+
+        Kept as the baseline the compiled engine is benchmarked and
+        regression-tested against; same contract as :meth:`evaluate`.
         """
         values = {}
         for name in self._inputs:

@@ -3,12 +3,16 @@
 Signal words pack one bit per input pattern, so a single pass over the
 netlist evaluates up to thousands of patterns.  These helpers build the
 packed input words for common sweeps (exhaustive, random, explicit pattern
-lists) and unpack results.
+lists) and unpack results.  Everything that touches a circuit routes
+through the compiled engine (:meth:`Circuit.compiled`); exhaustive sweeps
+run chunked so bigint words stay cache-sized.
 """
 
 from __future__ import annotations
 
 import random
+
+from .engine import DEFAULT_CHUNK_BITS, MAX_EXHAUSTIVE_INPUTS
 
 __all__ = [
     "exhaustive_patterns",
@@ -22,16 +26,24 @@ __all__ = [
 ]
 
 
+
 def exhaustive_patterns(names):
     """Packed words enumerating all ``2**len(names)`` assignments.
 
     Pattern ``j`` assigns to ``names[i]`` the ``i``-th bit of ``j``; the
     return value is ``(assignment, mask)`` ready for ``Circuit.evaluate``.
-    Practical for up to ~20 names.
+    Comfortable up to ~16 names; hard-capped at
+    :data:`MAX_EXHAUSTIVE_INPUTS` (= 24) names, where the packed words
+    reach 2 MiB per signal.  Prefer
+    :meth:`CompiledCircuit.sweep_exhaustive` for wide sweeps — it chunks
+    the pattern space instead of materializing one giant word.
     """
     n = len(names)
-    if n > 24:
-        raise ValueError(f"exhaustive simulation over {n} inputs is impractical")
+    if n > MAX_EXHAUSTIVE_INPUTS:
+        raise ValueError(
+            f"exhaustive simulation over {n} inputs is impractical "
+            f"(cap: {MAX_EXHAUSTIVE_INPUTS})"
+        )
     width = 1 << n
     mask = (1 << width) - 1
     assignment = {}
@@ -50,9 +62,17 @@ def pack_patterns(names, patterns):
 
     ``patterns`` is a sequence of dicts (or of tuples aligned with
     ``names``) giving scalar 0/1 values.  Returns ``(assignment, mask)``.
+    Raises ``ValueError`` on an empty pattern list — a zero-width word
+    has an all-zero mask that silently turns every downstream evaluation
+    into garbage.
     """
     width = len(patterns)
-    mask = (1 << width) - 1 if width else 0
+    if width == 0:
+        raise ValueError(
+            "pack_patterns needs at least one pattern (a zero-width "
+            "simulation word would mask every signal to 0)"
+        )
+    mask = (1 << width) - 1
     words = {name: 0 for name in names}
     for j, pattern in enumerate(patterns):
         if isinstance(pattern, dict):
@@ -84,9 +104,10 @@ def simulate_patterns(circuit, patterns, defaults=None):
     ``patterns`` may assign only a subset of inputs; remaining inputs take
     values from ``defaults`` (scalar per input, default 0).
     """
+    if not patterns:
+        return []
     names = list(circuit.inputs)
     width = len(patterns)
-    mask = (1 << width) - 1 if width else 0
     defaults = defaults or {}
     filled = []
     for pattern in patterns:
@@ -94,25 +115,39 @@ def simulate_patterns(circuit, patterns, defaults=None):
         full.update(pattern)
         filled.append(full)
     words, mask = pack_patterns(names, filled)
-    out_words = circuit.evaluate(words, mask, outputs_only=True)
-    results = []
-    for j in range(width):
-        results.append({o: (out_words[o] >> j) & 1 for o in circuit.outputs})
-    return results
+    engine = circuit.compiled()
+    out_words = engine.output_words(words, mask)
+    outputs = engine.output_names
+    return [
+        {o: (word >> j) & 1 for o, word in zip(outputs, out_words)}
+        for j in range(width)
+    ]
 
 
-def simulate_exhaustive(circuit):
+def simulate_exhaustive(circuit, chunk_bits=DEFAULT_CHUNK_BITS):
     """Truth table of the circuit: list of output tuples, input-index order.
 
     Entry ``j`` is the output tuple when input ``i`` carries bit ``i`` of
     ``j`` (inputs in declaration order).  Only for small input counts.
+    The sweep runs through the compiled engine in ``2**chunk_bits``-
+    pattern chunks, so wide sweeps never materialize a ``2**n``-bit word.
     """
-    assignment, mask = exhaustive_patterns(list(circuit.inputs))
-    out_words = circuit.evaluate(assignment, mask, outputs_only=True)
-    width = 1 << len(circuit.inputs)
-    return [
-        tuple((out_words[o] >> j) & 1 for o in circuit.outputs) for j in range(width)
-    ]
+    n = len(circuit.inputs)
+    # Checked before the 2**n-entry table allocation below — the engine's
+    # own cap inside sweep_exhaustive would fire too late.
+    if n > MAX_EXHAUSTIVE_INPUTS:
+        raise ValueError(
+            f"exhaustive simulation over {n} inputs is impractical "
+            f"(cap: {MAX_EXHAUSTIVE_INPUTS})"
+        )
+    engine = circuit.compiled()
+    table = [None] * (1 << n)
+    for offset, width, _mask, out_words in engine.sweep_exhaustive(
+        chunk_bits=chunk_bits
+    ):
+        for j in range(width):
+            table[offset + j] = tuple((w >> j) & 1 for w in out_words)
+    return table
 
 
 def simulate_random(circuit, count, rng=None):

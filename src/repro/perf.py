@@ -1,0 +1,79 @@
+"""Timing and benchmark-report utilities.
+
+Small, dependency-free helpers shared by the benchmark scripts (and
+usable from attack code for ad-hoc timing).  The point of the module is
+the machine-readable report: :func:`write_bench_json` stamps every
+payload with enough environment metadata that two ``BENCH_*.json`` files
+from different commits form a perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+
+__all__ = ["Timer", "best_of", "rate", "environment_info", "write_bench_json"]
+
+
+class Timer:
+    """Context-manager stopwatch: ``with Timer() as t: ...; t.elapsed``."""
+
+    def __init__(self):
+        self.elapsed = 0.0
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.elapsed = time.perf_counter() - self._start
+        return False
+
+
+def best_of(fn, repeat=3):
+    """Run ``fn`` ``repeat`` times; return ``(best_seconds, last_result)``.
+
+    Best-of timing rejects scheduler noise, which at micro-benchmark
+    scale swamps the differences being measured.
+    """
+    best = None
+    result = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def rate(count, seconds):
+    """Events per second, tolerating zero elapsed time."""
+    return count / seconds if seconds > 0 else float("inf")
+
+
+def environment_info():
+    """Interpreter/platform metadata stamped into every bench report."""
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+    }
+
+
+def write_bench_json(path, payload):
+    """Write a benchmark payload as JSON with environment + timestamp.
+
+    Returns the path written.  The payload is augmented (not mutated)
+    with ``generated_at`` (epoch seconds) and ``environment``.
+    """
+    record = dict(payload)
+    record.setdefault("generated_at", time.time())
+    record.setdefault("environment", environment_info())
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path

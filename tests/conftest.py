@@ -1,33 +1,18 @@
-"""Shared test fixtures: seeded random hosts and helpers."""
+"""Shared test fixtures: seeded random hosts and helpers.
+
+The circuit factories live in :mod:`factories` (same directory) so test
+modules can import them without relying on the ``conftest`` module name,
+which ``benchmarks/conftest.py`` would shadow in a combined run.
+"""
 
 import os
-import random
 
 import pytest
 
+from factories import GATE_CHOICES, build_random_circuit  # noqa: F401 (re-export)
 from repro.netlist import Circuit
 
 os.environ.setdefault("REPRO_SCALE", "tiny")
-
-GATE_CHOICES = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR"]
-
-
-def build_random_circuit(n_inputs=6, n_gates=20, n_outputs=3, seed=0,
-                         unary_fraction=0.15):
-    """Seeded random DAG circuit used across the suite."""
-    rng = random.Random(("testhost", seed, n_inputs, n_gates).__str__())
-    circuit = Circuit(f"rand{seed}")
-    signals = [circuit.add_input(f"x{i}") for i in range(n_inputs)]
-    for g in range(n_gates):
-        if rng.random() < unary_fraction:
-            circuit.add_gate(f"g{g}", "NOT", (rng.choice(signals),))
-        else:
-            a, b = rng.sample(signals, 2)
-            circuit.add_gate(f"g{g}", rng.choice(GATE_CHOICES), (a, b))
-        signals.append(f"g{g}")
-    circuit.set_outputs(signals[-n_outputs:])
-    circuit.validate()
-    return circuit
 
 
 @pytest.fixture

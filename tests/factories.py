@@ -1,0 +1,66 @@
+"""Circuit factories shared across the test suite.
+
+Lives in its own module (not ``conftest.py``) so test files can import it
+by a non-colliding name: ``benchmarks/`` has its own conftest, and two
+``conftest`` modules in one pytest run shadow each other.
+"""
+
+import random
+
+from repro.netlist import Circuit
+
+GATE_CHOICES = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR"]
+
+
+def build_random_circuit(n_inputs=6, n_gates=20, n_outputs=3, seed=0,
+                         unary_fraction=0.15):
+    """Seeded random DAG circuit used across the suite."""
+    rng = random.Random(("testhost", seed, n_inputs, n_gates).__str__())
+    circuit = Circuit(f"rand{seed}")
+    signals = [circuit.add_input(f"x{i}") for i in range(n_inputs)]
+    for g in range(n_gates):
+        if rng.random() < unary_fraction:
+            circuit.add_gate(f"g{g}", "NOT", (rng.choice(signals),))
+        else:
+            a, b = rng.sample(signals, 2)
+            circuit.add_gate(f"g{g}", rng.choice(GATE_CHOICES), (a, b))
+        signals.append(f"g{g}")
+    circuit.set_outputs(signals[-n_outputs:])
+    circuit.validate()
+    return circuit
+
+
+def build_exotic_circuit(seed=0, n_inputs=7, n_gates=40):
+    """Random circuit exercising every gate type the engine compiles.
+
+    Includes constants, BUF/NOT chains, and variadic (3-4 input) gates on
+    top of the binary mix — the shapes :mod:`repro.netlist.engine` lowers
+    to distinct opcodes.
+    """
+    rng = random.Random(("exotic", seed, n_inputs, n_gates).__str__())
+    circuit = Circuit(f"exotic{seed}")
+    signals = [circuit.add_input(f"x{i}") for i in range(n_inputs)]
+    circuit.add_gate("c0", "CONST0", ())
+    circuit.add_gate("c1", "CONST1", ())
+    signals += ["c0", "c1"]
+    for g in range(n_gates):
+        roll = rng.random()
+        name = f"e{g}"
+        if roll < 0.1:
+            circuit.add_gate(name, "NOT", (rng.choice(signals),))
+        elif roll < 0.2:
+            circuit.add_gate(name, "BUFF", (rng.choice(signals),))
+        elif roll < 0.45:
+            k = rng.choice([3, 4])
+            if k <= len(signals):
+                fanins = rng.sample(signals, k)
+            else:
+                fanins = rng.sample(signals, 2)
+            circuit.add_gate(name, rng.choice(GATE_CHOICES), tuple(fanins))
+        else:
+            a, b = rng.sample(signals, 2)
+            circuit.add_gate(name, rng.choice(GATE_CHOICES), (a, b))
+        signals.append(name)
+    circuit.set_outputs(signals[-4:])
+    circuit.validate()
+    return circuit

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.netlist import ParseError, parse_bench, simulate_exhaustive, write_bench
 
 SAMPLE = """

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.cli import main
 from repro.netlist import parse_bench_file, write_bench_file
 

@@ -1,6 +1,6 @@
 """Tests for cone and reachability analysis."""
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.netlist import (
     cones_with_support_within,
     extract_cone,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.attacks import Oracle, kratt_og_attack, kratt_ol_attack, score_key
 from repro.locking import TECHNIQUES, lock_sfll_hd
 from repro.synth import resynthesize

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.attacks.kratt import (
     extract_unit,
     modified_dflt_subcircuit,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.attacks import score_key
 from repro.attacks.kratt import extract_unit, qbf_key_search, tied_unit_is_constant
 from repro.locking import (

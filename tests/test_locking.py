@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.locking import (
     DFLT_TECHNIQUES,
     SFLT_TECHNIQUES,

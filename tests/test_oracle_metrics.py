@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.attacks import Oracle, complete_partial_key, score_key
 from repro.locking import lock_sarlock, lock_antisat
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.attacks import complete_partial_key, removal_attack, score_key
 from repro.attacks.kratt import extract_unit
 from repro.locking import lock_genantisat, lock_sarlock

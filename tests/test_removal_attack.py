@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.attacks import Oracle, kratt_og_attack, reconstruct_original, removal_attack
 from repro.locking import lock_antisat, lock_sarlock, lock_sfll_flex, lock_ttlock
 from repro.netlist import check_equivalent

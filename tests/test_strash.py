@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.netlist import Circuit, check_equivalent, structural_hash
 
 

@@ -4,7 +4,7 @@ import itertools
 
 from hypothesis import given, settings, strategies as st
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.netlist.simulate import simulate_patterns
 from repro.synth import (
     circuit_features,

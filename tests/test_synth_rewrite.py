@@ -5,7 +5,7 @@ import random
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.netlist import check_equivalent
 from repro.synth import (
     anonymize_internals,

@@ -58,7 +58,7 @@ class TestImplication:
         assert check_equivalent(c, out)[0] is True
 
     def test_no_false_rewrites_on_random_logic(self):
-        from conftest import build_random_circuit
+        from factories import build_random_circuit
 
         c = build_random_circuit(n_inputs=6, n_gates=25, seed=17)
         obs = simulation_observations(c, patterns=96)

@@ -2,7 +2,7 @@
 
 from hypothesis import given, settings, strategies as st
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.netlist.simulate import simulate_exhaustive
 from repro.sat import Solver, encode_circuit
 from repro.sat.tseitin import encode_into_solver

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import build_random_circuit
+from factories import build_random_circuit
 from repro.netlist import build_miter, check_equivalent, prove_signal_constant
 
 
