@@ -4,22 +4,26 @@ Re-synthesizes the locked c6288 stand-in under different efforts and
 delay constraints and measures KRATT's run-time per variant, reporting
 the mean / standard deviation / max-min ratio the paper quotes
 (SFLT variants resolve via QBF with small spread; DFLT variants carry
-the structural-analysis cost and a larger spread).
+the structural-analysis cost and a larger spread).  Runs as a campaign
+spec over the (technique x variant) grid.
 """
 
-from bench_utils import emit
-from repro.experiments import fig6_rows, format_table
+from bench_utils import campaign_spec, emit
+from repro.experiments import format_table
+from repro.experiments.campaign import run_campaign
 
 
 def test_fig6_resynthesis_impact(benchmark, results_dir):
-    header = rows = None
+    spec = campaign_spec("bench-fig6", ["fig6"], variants=6, qbf_time_limit=2.0)
+    outcome = None
 
     def run():
-        nonlocal header, rows
-        header, rows = fig6_rows(variants=6, qbf_time_limit=2.0)
-        return rows
+        nonlocal outcome
+        outcome = run_campaign(spec, resume=False)
+        return outcome
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+    header, rows = outcome.unwrap("fig6")
     emit(results_dir, "fig6",
          format_table("Fig. 6: KRATT run-time across resynthesized c6288 variants",
                       header, rows))

@@ -3,21 +3,25 @@
 Expected shape (paper): SCOPE deciphers everything only on SARLock;
 KRATT breaks every SFLT through the QBF formulation and deciphers a
 large fraction of DFLT key bits through the modified-subcircuit SCOPE.
+Runs as a campaign spec over the (circuit x technique) grid.
 """
 
-from bench_utils import emit
-from repro.experiments import format_table, table2_rows
+from bench_utils import campaign_spec, emit
+from repro.experiments import format_table
+from repro.experiments.campaign import run_campaign
 
 
 def test_table2_ol_attacks(benchmark, results_dir):
-    header = rows = None
+    spec = campaign_spec("bench-table2", ["table2"], qbf_time_limit=2.0)
+    outcome = None
 
     def run():
-        nonlocal header, rows
-        header, rows = table2_rows(qbf_time_limit=2.0)
-        return rows
+        nonlocal outcome
+        outcome = run_campaign(spec, resume=False)
+        return outcome
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+    header, rows = outcome.unwrap("table2")
     emit(results_dir, "table2",
          format_table("Table II: OL attacks on locked ISCAS'85/ITC'99", header, rows))
 

@@ -3,21 +3,27 @@
 Expected shape (paper): every baseline times out on the SAT-resilient
 locks (OoT) while KRATT finds the secret key with modest run-time;
 SFLT rows fall to the QBF step, DFLT rows to structural analysis.
+Runs as a campaign spec over the (circuit x technique) grid.
 """
 
-from bench_utils import emit
-from repro.experiments import format_table, table3_rows
+from bench_utils import campaign_spec, emit
+from repro.experiments import format_table
+from repro.experiments.campaign import run_campaign
 
 
 def test_table3_og_attacks(benchmark, results_dir):
-    header = rows = None
+    spec = campaign_spec(
+        "bench-table3", ["table3"], baseline_time_limit=4.0, qbf_time_limit=2.0
+    )
+    outcome = None
 
     def run():
-        nonlocal header, rows
-        header, rows = table3_rows(baseline_time_limit=4.0, qbf_time_limit=2.0)
-        return rows
+        nonlocal outcome
+        outcome = run_campaign(spec, resume=False)
+        return outcome
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+    header, rows = outcome.unwrap("table3")
     emit(results_dir, "table3",
          format_table("Table III: OG attacks on locked ISCAS'85/ITC'99",
                       header, rows,

@@ -3,21 +3,25 @@
 Expected shape (paper): the QBF witness cannot be certified (the tree
 pair is non-complementary), SCOPE alone deciphers almost nothing, and
 KRATT's modified-locking-unit SCOPE deciphers all key inputs.
+Runs as a campaign spec over the circuit grid.
 """
 
-from bench_utils import emit
-from repro.experiments import format_table, table4_rows
+from bench_utils import campaign_spec, emit
+from repro.experiments import format_table
+from repro.experiments.campaign import run_campaign
 
 
 def test_table4_genantisat(benchmark, results_dir):
-    header = rows = None
+    spec = campaign_spec("bench-table4", ["table4"], qbf_time_limit=2.0)
+    outcome = None
 
     def run():
-        nonlocal header, rows
-        header, rows = table4_rows(qbf_time_limit=2.0)
-        return rows
+        nonlocal outcome
+        outcome = run_campaign(spec, resume=False)
+        return outcome
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+    header, rows = outcome.unwrap("table4")
     emit(results_dir, "table4",
          format_table("Table IV: OL attacks on Gen-Anti-SAT locked circuits",
                       header, rows))

@@ -3,21 +3,27 @@
 Expected shape (paper): SCOPE deciphers nothing; KRATT-OL deciphers a
 large fraction of key inputs; the SAT attack is slow or OoT; KRATT-OG
 recovers the secret key of every circuit faster than the SAT attack.
+Runs as a campaign spec over the HeLLO circuit grid.
 """
 
-from bench_utils import emit
-from repro.experiments import format_table, table5_rows
+from bench_utils import campaign_spec, emit
+from repro.experiments import format_table
+from repro.experiments.campaign import run_campaign
 
 
 def test_table5_hello_ctf(benchmark, results_dir):
-    header = rows = None
+    spec = campaign_spec(
+        "bench-table5", ["table5"], baseline_time_limit=6.0, qbf_time_limit=2.0
+    )
+    outcome = None
 
     def run():
-        nonlocal header, rows
-        header, rows = table5_rows(baseline_time_limit=6.0, qbf_time_limit=2.0)
-        return rows
+        nonlocal outcome
+        outcome = run_campaign(spec, resume=False)
+        return outcome
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+    header, rows = outcome.unwrap("table5")
     emit(results_dir, "table5",
          format_table("Table V: HeLLO: CTF'22 SFLL circuits", header, rows))
 

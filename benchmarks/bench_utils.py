@@ -20,3 +20,22 @@ def emit(results_dir, name, text):
     print()
     print(text)
     (pathlib.Path(results_dir) / f"{name}.txt").write_text(text + "\n")
+
+
+def campaign_spec(name, artifacts, **options):
+    """Build a bench-scoped CampaignSpec rooted under benchmarks/results.
+
+    ``REPRO_BENCH_WORKERS`` selects the pool size (default 0 = in-process,
+    which keeps pytest-benchmark timings comparable to the serial path).
+    """
+    import os
+
+    from repro.experiments.campaign import CampaignSpec
+
+    return CampaignSpec(
+        name=name,
+        artifacts=tuple(artifacts),
+        options=options,
+        workers=int(os.environ.get("REPRO_BENCH_WORKERS", "0")),
+        results_root=str(RESULTS_DIR / "campaigns"),
+    )

@@ -3,22 +3,26 @@
 The paper sweeps 720 locked circuits from the Valkyrie repository and
 reports that the QBF formulation broke the SFLTs while structural
 analysis broke the DFLTs.  This bench reproduces the census at
-reproduction scale over hosts x techniques x synthesis seeds.
+reproduction scale over hosts x techniques x synthesis seeds, expanded
+and sharded by the campaign orchestrator.
 """
 
-from bench_utils import emit
-from repro.experiments import format_table, valkyrie_rows
+from bench_utils import campaign_spec, emit
+from repro.experiments import format_table
+from repro.experiments.campaign import run_campaign
 
 
 def test_valkyrie_census(benchmark, results_dir):
-    header = rows = None
+    spec = campaign_spec("bench-valkyrie", ["valkyrie"], qbf_time_limit=2.0)
+    outcome = None
 
     def run():
-        nonlocal header, rows
-        header, rows = valkyrie_rows(qbf_time_limit=2.0)
-        return rows
+        nonlocal outcome
+        outcome = run_campaign(spec, resume=False)
+        return outcome
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+    header, rows = outcome.unwrap("valkyrie")
     emit(results_dir, "valkyrie",
          format_table("Valkyrie-style census", header, rows))
 

@@ -68,6 +68,7 @@ def appsat_attack(
             timed_out=timed_out,
             iterations=iterations,
             elapsed=time.monotonic() - start,
+            time_limit=time_limit,
             oracle_queries=oracle.query_count - queries_before,
             details={"approximate": approximate},
         )

@@ -49,6 +49,7 @@ def ddip_attack(
             timed_out=True,
             iterations=iterations,
             elapsed=time.monotonic() - start,
+            time_limit=time_limit,
             oracle_queries=oracle.query_count - queries_before,
             details=details,
         )
@@ -85,5 +86,6 @@ def ddip_attack(
         timed_out=key is None,
         iterations=iterations,
         elapsed=time.monotonic() - start,
+        time_limit=time_limit,
         oracle_queries=oracle.query_count - queries_before,
     )

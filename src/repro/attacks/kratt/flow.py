@@ -37,7 +37,8 @@ def _removal_and_qbf(circuit, key_inputs, qbf_time_limit):
     return extraction, outcome
 
 
-def _qbf_success_result(attack, circuit, technique, extraction, outcome, start):
+def _qbf_success_result(attack, circuit, technique, extraction, outcome, start,
+                        time_limit=None):
     key = dict(outcome.key)
     # Key inputs that never entered the unit (should not happen for
     # single-unit locks) default to 0.
@@ -48,6 +49,7 @@ def _qbf_success_result(attack, circuit, technique, extraction, outcome, start):
         key=key,
         success=True,
         elapsed=time.monotonic() - start,
+        time_limit=time_limit,
         iterations=outcome.iterations,
         details={
             "method": "qbf",
@@ -88,7 +90,8 @@ def kratt_ol_attack(
 
     if outcome.status == "key":
         return _qbf_success_result(
-            "kratt-ol", circuit, technique, extraction, outcome, start
+            "kratt-ol", circuit, technique, extraction, outcome, start,
+            time_limit=qbf_time_limit,
         )
 
     if outcome.status == "ambiguous":
@@ -171,7 +174,8 @@ def kratt_og_attack(
 
     if outcome.status == "key":
         return _qbf_success_result(
-            "kratt-og", circuit, technique, extraction, outcome, start
+            "kratt-og", circuit, technique, extraction, outcome, start,
+            time_limit=qbf_time_limit,
         )
 
     # With an oracle even an ambiguous QBF witness can be validated, but
@@ -210,6 +214,7 @@ def kratt_og_attack(
         success=search.success,
         timed_out=search.exhausted_budget and not search.success,
         elapsed=time.monotonic() - start,
+        time_limit=time_limit,
         oracle_queries=oracle.query_count - queries_before,
         details={
             "method": "og-structural",

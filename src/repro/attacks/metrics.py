@@ -64,7 +64,14 @@ class KeyScore:
 
 @dataclass
 class AttackResult:
-    """Uniform attack outcome record used by every attack in the package."""
+    """Uniform attack outcome record used by every attack in the package.
+
+    ``elapsed`` is the attack's own wall-clock; ``time_limit`` records the
+    budget it ran under (``None`` = unbounded) so downstream accounting —
+    the campaign orchestrator persists one JSON record per grid cell —
+    can tell a fast success from a success that nearly exhausted its
+    budget without re-deriving the limit from call sites.
+    """
 
     attack: str
     technique: str
@@ -73,9 +80,39 @@ class AttackResult:
     success: bool = False
     timed_out: bool = False
     elapsed: float = 0.0
+    time_limit: float = None
     iterations: int = 0
     oracle_queries: int = 0
     details: dict = field(default_factory=dict)
+
+    @property
+    def budget_used(self):
+        """Fraction of ``time_limit`` consumed (``None`` when unbounded)."""
+        if not self.time_limit:
+            return None
+        return self.elapsed / self.time_limit
+
+    def as_dict(self):
+        """JSON-serializable record (key maps become name -> 0/1/None)."""
+        return {
+            "attack": self.attack,
+            "technique": self.technique,
+            "circuit": self.circuit,
+            "key": {
+                k: (None if v is None else int(bool(v)))
+                for k, v in (self.key or {}).items()
+            },
+            "success": bool(self.success),
+            "timed_out": bool(self.timed_out),
+            "elapsed": self.elapsed,
+            "time_limit": self.time_limit,
+            "iterations": self.iterations,
+            "oracle_queries": self.oracle_queries,
+            "details": {
+                k: v for k, v in (self.details or {}).items()
+                if isinstance(v, (str, int, float, bool, type(None)))
+            },
+        }
 
     def __repr__(self):
         state = "OoT" if self.timed_out else ("ok" if self.success else "fail")

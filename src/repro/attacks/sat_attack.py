@@ -63,6 +63,7 @@ def sat_attack(
                 timed_out=True,
                 iterations=iterations,
                 elapsed=time.monotonic() - start,
+                time_limit=time_limit,
                 oracle_queries=oracle.query_count - queries_before,
             )
         if max_iterations is not None and iterations >= max_iterations:
@@ -73,6 +74,7 @@ def sat_attack(
                 timed_out=True,
                 iterations=iterations,
                 elapsed=time.monotonic() - start,
+                time_limit=time_limit,
                 oracle_queries=oracle.query_count - queries_before,
                 details={"reason": "iteration limit"},
             )
@@ -85,6 +87,7 @@ def sat_attack(
                 timed_out=True,
                 iterations=iterations,
                 elapsed=time.monotonic() - start,
+                time_limit=time_limit,
                 oracle_queries=oracle.query_count - queries_before,
             )
         if status is False:
@@ -103,5 +106,6 @@ def sat_attack(
         timed_out=key is None,
         iterations=iterations,
         elapsed=time.monotonic() - start,
+        time_limit=time_limit,
         oracle_queries=oracle.query_count - queries_before,
     )

@@ -9,7 +9,9 @@ script driven on ``.bench`` files):
   locked ``.bench`` file;
 * ``removal``  — run the removal attack / reconstruction;
 * ``info``     — print netlist statistics;
-* ``gen``      — emit one of the registered benchmark stand-ins.
+* ``gen``      — emit one of the registered benchmark stand-ins;
+* ``campaign`` — run/resume/inspect parallel attack campaigns over the
+  paper's (circuit x technique x attack) grid.
 
 Key files are one ``name=0|1`` pair per line.
 """
@@ -130,6 +132,133 @@ def _cmd_gen(args):
     return 0
 
 
+def _csv(value):
+    return tuple(part for part in value.split(",") if part)
+
+
+def _campaign_grid_args(args):
+    """The inline flags that define the cell grid (vs scheduling knobs)."""
+    options = {}
+    if args.scale:
+        options["scale"] = args.scale
+    if args.circuits:
+        options["circuits"] = _csv(args.circuits)
+    if args.techniques:
+        options["techniques"] = _csv(args.techniques)
+    if args.synth_seeds:
+        options["synth_seeds"] = tuple(int(s) for s in _csv(args.synth_seeds))
+    if args.variants is not None:
+        options["variants"] = args.variants
+    if args.qbf_limit is not None:
+        options["qbf_time_limit"] = args.qbf_limit
+    if args.baseline_limit is not None:
+        options["baseline_time_limit"] = args.baseline_limit
+    return args.artifacts, options
+
+
+def _campaign_spec_from_args(args):
+    import os
+
+    from .experiments.campaign import CampaignSpec, load_spec
+
+    if args.spec:
+        spec = load_spec(path=args.spec, results_root=args.root)
+        if args.name:
+            spec.name = args.name
+    else:
+        if not args.name:
+            raise SystemExit("campaign run needs a NAME or --spec FILE")
+        artifacts, options = _campaign_grid_args(args)
+        if artifacts is None and not options:
+            # Bare `campaign run NAME`: resume the stored grid when one
+            # exists rather than silently rebuilding a default spec over
+            # the previous campaign's records.
+            probe = CampaignSpec(name=args.name, results_root=args.root)
+            if os.path.exists(os.path.join(probe.directory, "spec.json")):
+                spec = load_spec(args.name, results_root=args.root)
+                artifacts = None
+            else:
+                spec = probe
+        if artifacts is not None or options:
+            spec = CampaignSpec(
+                name=args.name,
+                artifacts=_csv(artifacts or "table1"),
+                options=options,
+                results_root=args.root,
+            )
+    if args.workers is not None:
+        spec.workers = args.workers
+    if args.cell_timeout is not None:
+        spec.cell_timeout = args.cell_timeout
+    return spec
+
+
+def _campaign_cli(func):
+    """Surface CampaignError as the crafted message, not a traceback."""
+
+    def wrapped(args):
+        from .experiments.campaign import CampaignError
+
+        try:
+            return func(args)
+        except CampaignError as exc:
+            raise SystemExit(f"campaign error: {exc}")
+
+    return wrapped
+
+
+@_campaign_cli
+def _cmd_campaign_run(args):
+    from .experiments.campaign import run_campaign, write_reports
+
+    spec = _campaign_spec_from_args(args)
+    result = run_campaign(
+        spec,
+        resume=not args.no_resume,
+        fresh=args.fresh,
+        limit=args.limit,
+        progress=print,
+    )
+    print(result.summary())
+    for cell_id, error in result.errors:
+        print(f"cell {cell_id} failed:\n{error}", file=sys.stderr)
+    if result.complete:
+        for path in write_reports(spec, result.tables):
+            print(f"wrote {path}")
+    else:
+        print(
+            f"campaign incomplete ({result.total - result.ran - result.skipped}"
+            " cells pending); rerun `repro campaign run` to finish"
+        )
+    return 1 if result.errors else 0
+
+
+@_campaign_cli
+def _cmd_campaign_status(args):
+    from .experiments.campaign import campaign_status
+
+    status = campaign_status(args.name, results_root=args.root)
+    for artifact, counts in status["artifacts"].items():
+        print(f"{artifact}: {counts['done']}/{counts['total']} done")
+    print(f"total: {status['done']}/{status['total']} done")
+    if status["pending"]:
+        print(f"pending: {', '.join(status['pending'][:8])}"
+              + (" ..." if len(status["pending"]) > 8 else ""))
+    return 0 if not status["pending"] else 2
+
+
+@_campaign_cli
+def _cmd_campaign_report(args):
+    from .experiments.campaign import load_spec, write_reports
+
+    spec = load_spec(args.name, results_root=args.root)
+    for path in write_reports(spec):
+        print(f"wrote {path}")
+        if args.show:
+            print(open(path).read())
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -173,6 +302,49 @@ def build_parser():
     p.add_argument("--scale", default=None)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_gen)
+
+    p = sub.add_parser(
+        "campaign", help="run attack campaigns over the paper grid"
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    c = csub.add_parser("run", help="run or resume a campaign")
+    c.add_argument("name", nargs="?", help="campaign name (slug)")
+    c.add_argument("--spec", help="JSON spec file (overrides inline options)")
+    c.add_argument("--artifacts", default=None,
+                   help="comma-separated artifact list (default: table1, or "
+                        "the stored spec when resuming by bare NAME)")
+    c.add_argument("--scale", help="reproduction scale (tiny/small/paper)")
+    c.add_argument("--circuits", help="comma-separated circuit override")
+    c.add_argument("--techniques", help="comma-separated technique override")
+    c.add_argument("--synth-seeds", help="comma-separated synthesis seeds")
+    c.add_argument("--variants", type=int, help="fig6 variants per technique")
+    c.add_argument("--qbf-limit", type=float, help="QBF stage budget (s)")
+    c.add_argument("--baseline-limit", type=float,
+                   help="baseline-attack budget (s)")
+    c.add_argument("--workers", type=int,
+                   help="worker processes (<=1 runs in-process)")
+    c.add_argument("--cell-timeout", type=float,
+                   help="flag cells slower than this many seconds")
+    c.add_argument("--limit", type=int,
+                   help="run at most N pending cells, then stop")
+    c.add_argument("--fresh", action="store_true",
+                   help="discard existing cell results first")
+    c.add_argument("--no-resume", action="store_true",
+                   help="recompute cells even when records exist")
+    c.add_argument("--root", help="results root (default benchmarks/results/campaigns)")
+    c.set_defaults(func=_cmd_campaign_run)
+
+    c = csub.add_parser("status", help="completion state of a campaign")
+    c.add_argument("name")
+    c.add_argument("--root")
+    c.set_defaults(func=_cmd_campaign_status)
+
+    c = csub.add_parser("report", help="aggregate cells into paper tables")
+    c.add_argument("name")
+    c.add_argument("--root")
+    c.add_argument("--show", action="store_true", help="print the tables")
+    c.set_defaults(func=_cmd_campaign_report)
     return parser
 
 

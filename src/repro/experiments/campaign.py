@@ -1,0 +1,491 @@
+"""Parallel attack-campaign orchestrator.
+
+A *campaign* regenerates one or more paper artifacts (Tables I-V,
+Fig. 6, the Valkyrie-style census) from a declarative
+:class:`CampaignSpec`.  The spec expands into a grid of independent
+*cells* — the (circuit x technique x seed/variant) units the artifact
+definitions in :mod:`repro.experiments.tables` decompose into — and the
+orchestrator:
+
+* shards the pending cells across a ``multiprocessing`` worker pool
+  (``workers <= 1`` runs them in-process, which is what the unit-timed
+  benchmark scripts use);
+* persists every finished cell as one JSON record under
+  ``<results_root>/<name>/cells/``, so an interrupted or killed campaign
+  resumes by running only the missing cells;
+* aggregates the completed grid back into the paper-style tables through
+  the same ``aggregate`` functions the serial row builders use — the
+  parallel path is bit-identical to the serial one by construction.
+
+The on-disk layout of a campaign ``<name>``::
+
+    <results_root>/<name>/spec.json        # the expanded, resolved spec
+    <results_root>/<name>/cells/<id>.json  # one record per finished cell
+    <results_root>/<name>/<artifact>.txt   # rendered tables (report step)
+
+This module is the seam future scaling work (async backends, distributed
+sharding, remote result stores) plugs into: backends only need to map
+``run one cell payload -> cell record``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import re
+import time
+import traceback
+from collections import namedtuple
+from dataclasses import dataclass, field, asdict
+
+from .harness import format_table
+from . import tables
+
+__all__ = [
+    "Artifact",
+    "ARTIFACTS",
+    "CampaignSpec",
+    "CampaignCell",
+    "CampaignResult",
+    "CampaignError",
+    "expand_cells",
+    "run_campaign",
+    "campaign_status",
+    "aggregate_campaign",
+    "write_reports",
+    "load_spec",
+    "DEFAULT_RESULTS_ROOT",
+]
+
+#: Default landing zone for campaign results, next to the bench outputs.
+DEFAULT_RESULTS_ROOT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))),
+    "benchmarks", "results", "campaigns",
+)
+
+Artifact = namedtuple("Artifact", ["name", "title", "expand", "cell", "aggregate"])
+
+#: Registry of runnable artifacts; every entry reuses the exact cell
+#: functions behind the serial ``tableN_rows`` builders.
+ARTIFACTS = {
+    "table1": Artifact(
+        "table1", "Table I: benchmark circuit details",
+        tables.table1_expand, tables.table1_cell, tables.table1_aggregate,
+    ),
+    "table2": Artifact(
+        "table2", "Table II: OL attacks on locked ISCAS'85/ITC'99",
+        tables.table2_expand, tables.table2_cell, tables.table2_aggregate,
+    ),
+    "table3": Artifact(
+        "table3", "Table III: OG attacks on locked ISCAS'85/ITC'99",
+        tables.table3_expand, tables.table3_cell, tables.table3_aggregate,
+    ),
+    "table4": Artifact(
+        "table4", "Table IV: OL attacks on Gen-Anti-SAT locked circuits",
+        tables.table4_expand, tables.table4_cell, tables.table4_aggregate,
+    ),
+    "table5": Artifact(
+        "table5", "Table V: HeLLO: CTF'22 SFLL circuits",
+        tables.table5_expand, tables.table5_cell, tables.table5_aggregate,
+    ),
+    "fig6": Artifact(
+        "fig6", "Fig. 6: KRATT run-time across resynthesized c6288 variants",
+        tables.fig6_expand, tables.fig6_cell, tables.fig6_aggregate,
+    ),
+    "valkyrie": Artifact(
+        "valkyrie", "Valkyrie-style census",
+        tables.valkyrie_expand, tables.valkyrie_cell, tables.valkyrie_aggregate,
+    ),
+}
+
+
+class CampaignError(RuntimeError):
+    """A campaign could not run or aggregate (bad spec, failed cells)."""
+
+
+@dataclass
+class CampaignSpec:
+    """Declarative description of one campaign.
+
+    ``options`` feeds every artifact's expand/cell/aggregate functions;
+    recognised keys include ``scale``, ``circuits``, ``techniques``,
+    ``synth_seeds``, ``variants``, ``qbf_time_limit`` and
+    ``baseline_time_limit`` (artifacts ignore keys they do not use).
+    """
+
+    name: str
+    artifacts: tuple = ("table1",)
+    options: dict = field(default_factory=dict)
+    workers: int = 0
+    cell_timeout: float = None
+    results_root: str = None
+    mp_context: str = None  # "fork" | "spawn" | None = platform default
+
+    def __post_init__(self):
+        if not re.fullmatch(r"[A-Za-z0-9._-]+", self.name or ""):
+            raise CampaignError(
+                f"campaign name {self.name!r} must be a filesystem-safe slug"
+            )
+        self.artifacts = tuple(self.artifacts)
+        unknown = [a for a in self.artifacts if a not in ARTIFACTS]
+        if unknown:
+            raise CampaignError(
+                f"unknown artifacts {unknown}; known: {sorted(ARTIFACTS)}"
+            )
+        if self.results_root is None:
+            self.results_root = DEFAULT_RESULTS_ROOT
+
+    # -- persistence ---------------------------------------------------
+    def to_dict(self):
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        known = {
+            "name", "artifacts", "options", "workers", "cell_timeout",
+            "results_root", "mp_context",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise CampaignError(f"unknown spec fields: {sorted(unknown)}")
+        return cls(**data)
+
+    @property
+    def directory(self):
+        return os.path.join(self.results_root, self.name)
+
+    @property
+    def cells_dir(self):
+        return os.path.join(self.directory, "cells")
+
+    def grid_fingerprint(self):
+        """Canonical JSON of everything that determines the cell grid and
+        the meaning of persisted cell records (artifacts + options)."""
+        return json.dumps(
+            {"artifacts": list(self.artifacts), "options": self.options},
+            sort_keys=True, default=list,
+        )
+
+    def save(self):
+        os.makedirs(self.directory, exist_ok=True)
+        _atomic_write_json(os.path.join(self.directory, "spec.json"),
+                           self.to_dict())
+
+
+def load_spec(name=None, results_root=None, path=None):
+    """Load a spec from an explicit JSON file or a campaign directory."""
+    if path is None:
+        root = results_root or DEFAULT_RESULTS_ROOT
+        path = os.path.join(root, name, "spec.json")
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        raise CampaignError(f"no campaign spec at {path}") from None
+    spec = CampaignSpec.from_dict(data)
+    if results_root is not None:
+        spec.results_root = results_root
+    return spec
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One schedulable unit: an artifact cell plus its stable identity."""
+
+    artifact: str
+    index: int  # position within the artifact's expansion order
+    cell_id: str
+    params: dict
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of :func:`run_campaign`."""
+
+    spec: CampaignSpec
+    total: int
+    ran: int
+    skipped: int
+    errors: list
+    elapsed: float
+    tables: dict = None  # artifact -> (header, rows); None while incomplete
+
+    @property
+    def complete(self):
+        return self.tables is not None
+
+    def unwrap(self, artifact):
+        """``(header, rows)`` of one artifact, or raise with cell tracebacks.
+
+        The worker path captures per-cell exceptions into ``errors``;
+        callers that want serial-style fail-loud semantics (the bench
+        scripts) go through here so the original tracebacks surface.
+        """
+        if self.errors:
+            details = "\n\n".join(
+                f"--- {cell_id}\n{error}" for cell_id, error in self.errors
+            )
+            raise CampaignError(
+                f"campaign {self.spec.name!r}: {len(self.errors)} cells "
+                f"failed:\n{details}"
+            )
+        if not self.complete:
+            raise CampaignError(
+                f"campaign {self.spec.name!r} is incomplete "
+                f"({self.total - self.ran - self.skipped} cells pending)"
+            )
+        return self.tables[artifact]
+
+    def summary(self):
+        state = "complete" if self.complete else "partial"
+        return (
+            f"campaign {self.spec.name}: {state}, cells total={self.total} "
+            f"ran={self.ran} skipped={self.skipped} errors={len(self.errors)} "
+            f"({self.elapsed:.1f}s)"
+        )
+
+
+def _slug(value):
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", str(value))
+
+
+def _cell_id(artifact, params):
+    parts = [artifact] + [
+        f"{k}={_slug(v)}" for k, v in sorted(params.items())
+    ]
+    return "--".join(parts)
+
+
+def expand_cells(spec):
+    """Expand the spec into its full, deterministically ordered cell grid."""
+    cells = []
+    seen = set()
+    for artifact_name in spec.artifacts:
+        artifact = ARTIFACTS[artifact_name]
+        for index, params in enumerate(artifact.expand(spec.options)):
+            cell_id = _cell_id(artifact_name, params)
+            if cell_id in seen:
+                raise CampaignError(f"duplicate cell id {cell_id!r}")
+            seen.add(cell_id)
+            cells.append(CampaignCell(artifact_name, index, cell_id, params))
+    return cells
+
+
+def _atomic_write_json(path, payload):
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def _load_cell_record(path):
+    """A finished cell record, or ``None`` for missing/corrupt files.
+
+    A campaign killed mid-write leaves either no file (writes are atomic
+    renames) or, on exotic filesystems, a truncated one — both read as
+    "cell not done", so resume recomputes them.
+    """
+    try:
+        with open(path) as handle:
+            record = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if record.get("status") != "ok" or "result" not in record:
+        return None
+    return record
+
+
+def _run_cell_payload(payload):
+    """Execute one cell; module-level so worker pools can pickle it."""
+    artifact_name, params, options = payload
+    start = time.monotonic()
+    try:
+        result = ARTIFACTS[artifact_name].cell(params, options)
+        status, error = "ok", None
+    except Exception:
+        result, status, error = None, "error", traceback.format_exc()
+    return {
+        "artifact": artifact_name,
+        "params": params,
+        "status": status,
+        "result": result,
+        "error": error,
+        "elapsed": time.monotonic() - start,
+        "pid": os.getpid(),
+    }
+
+
+def _pool_context(spec):
+    if spec.mp_context:
+        return multiprocessing.get_context(spec.mp_context)
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_campaign(spec, resume=True, fresh=False, limit=None, progress=None):
+    """Run (or resume) a campaign; returns a :class:`CampaignResult`.
+
+    Parameters
+    ----------
+    resume:
+        Skip cells whose JSON record already exists (the default).  With
+        ``False`` every cell is recomputed but records are still written,
+        so a later ``status``/``report`` sees a complete campaign.
+    fresh:
+        Delete existing cell records first (implies nothing is resumed).
+    limit:
+        Stop after scheduling at most this many pending cells — the hook
+        the smoke tests use to manufacture partial campaigns.
+    progress:
+        Optional callable receiving one line per finished cell.
+    """
+    start = time.monotonic()
+    # A campaign directory binds cell records to one grid: silently
+    # reusing records computed under different options would label stale
+    # numbers with the new spec.  Changing the grid needs ``fresh`` (or a
+    # new campaign name).
+    spec_path = os.path.join(spec.directory, "spec.json")
+    if not fresh and os.path.exists(spec_path):
+        try:
+            stored = CampaignSpec.from_dict(json.load(open(spec_path)))
+        except (ValueError, CampaignError):
+            stored = None
+        if stored is not None and stored.grid_fingerprint() != spec.grid_fingerprint():
+            raise CampaignError(
+                f"campaign {spec.name!r} already has results for a different "
+                "grid (artifacts/options changed); rerun with fresh=True "
+                "(--fresh) to discard them, or pick a new campaign name"
+            )
+    spec.save()
+    os.makedirs(spec.cells_dir, exist_ok=True)
+    if fresh:
+        for entry in os.listdir(spec.cells_dir):
+            if entry.endswith(".json"):
+                os.unlink(os.path.join(spec.cells_dir, entry))
+
+    cells = expand_cells(spec)
+    todo = []
+    skipped = 0
+    for cell in cells:
+        path = os.path.join(spec.cells_dir, f"{cell.cell_id}.json")
+        if resume and not fresh and _load_cell_record(path) is not None:
+            skipped += 1
+            continue
+        todo.append(cell)
+    if limit is not None:
+        todo = todo[:limit]
+
+    errors = []
+
+    def finish(cell, record):
+        record["cell_id"] = cell.cell_id
+        if spec.cell_timeout is not None:
+            record["timed_out"] = record["elapsed"] > spec.cell_timeout
+        if record["status"] == "ok":
+            _atomic_write_json(
+                os.path.join(spec.cells_dir, f"{cell.cell_id}.json"), record
+            )
+        else:
+            errors.append((cell.cell_id, record["error"]))
+        if progress is not None:
+            progress(
+                f"[{record['status']}] {cell.cell_id} "
+                f"({record['elapsed']:.2f}s, pid {record['pid']})"
+            )
+
+    payloads = [(c.artifact, c.params, spec.options) for c in todo]
+    if spec.workers and spec.workers > 1 and len(todo) > 1:
+        ctx = _pool_context(spec)
+        with ctx.Pool(processes=min(spec.workers, len(todo))) as pool:
+            for cell, record in zip(
+                todo, pool.imap(_run_cell_payload, payloads)
+            ):
+                finish(cell, record)
+    else:
+        for cell, payload in zip(todo, payloads):
+            finish(cell, _run_cell_payload(payload))
+
+    result = CampaignResult(
+        spec=spec,
+        total=len(cells),
+        ran=len(todo) - len(errors),
+        skipped=skipped,
+        errors=errors,
+        elapsed=time.monotonic() - start,
+    )
+    if not errors and result.ran + result.skipped == result.total:
+        result.tables = aggregate_campaign(spec, cells=cells)
+    return result
+
+
+def campaign_status(name=None, results_root=None, spec=None):
+    """Completion state of a stored campaign.
+
+    Returns a dict with per-artifact ``done``/``total`` counts and the
+    ids of pending cells.
+    """
+    if spec is None:
+        spec = load_spec(name, results_root=results_root)
+    cells = expand_cells(spec)
+    per_artifact = {a: {"done": 0, "total": 0} for a in spec.artifacts}
+    pending = []
+    for cell in cells:
+        per_artifact[cell.artifact]["total"] += 1
+        path = os.path.join(spec.cells_dir, f"{cell.cell_id}.json")
+        if _load_cell_record(path) is not None:
+            per_artifact[cell.artifact]["done"] += 1
+        else:
+            pending.append(cell.cell_id)
+    return {
+        "name": spec.name,
+        "directory": spec.directory,
+        "artifacts": per_artifact,
+        "done": len(cells) - len(pending),
+        "total": len(cells),
+        "pending": pending,
+    }
+
+
+def aggregate_campaign(spec, cells=None):
+    """Fold every persisted cell into ``{artifact: (header, rows)}``.
+
+    Raises :class:`CampaignError` when records are missing — aggregation
+    of a partial campaign would silently drop rows.
+    """
+    if cells is None:
+        cells = expand_cells(spec)
+    by_artifact = {}
+    missing = []
+    for cell in cells:
+        path = os.path.join(spec.cells_dir, f"{cell.cell_id}.json")
+        record = _load_cell_record(path)
+        if record is None:
+            missing.append(cell.cell_id)
+            continue
+        by_artifact.setdefault(cell.artifact, []).append(record["result"])
+    if missing:
+        raise CampaignError(
+            f"campaign {spec.name!r} is incomplete: {len(missing)} cells "
+            f"missing (first: {missing[:3]}); run `repro campaign run` to "
+            "finish it"
+        )
+    return {
+        artifact: ARTIFACTS[artifact].aggregate(results, spec.options)
+        for artifact, results in by_artifact.items()
+    }
+
+
+def write_reports(spec, tables_by_artifact=None):
+    """Render each artifact's table to ``<dir>/<artifact>.txt``."""
+    if tables_by_artifact is None:
+        tables_by_artifact = aggregate_campaign(spec)
+    paths = []
+    for artifact_name, (header, rows) in tables_by_artifact.items():
+        text = format_table(ARTIFACTS[artifact_name].title, header, rows)
+        path = os.path.join(spec.directory, f"{artifact_name}.txt")
+        with open(path, "w") as handle:
+            handle.write(text + "\n")
+        paths.append(path)
+    return paths

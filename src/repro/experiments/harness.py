@@ -9,14 +9,24 @@ wall-clock measurement, and paper-style row formatting.
 
 from __future__ import annotations
 
+import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from ..benchgen.registry import generate_host, resolve_scale, scaled_key_width, SPECS
 from ..locking import TECHNIQUES
 from ..synth.resynth import resynthesize
 
-__all__ = ["PreparedCircuit", "prepare_locked", "format_table", "Timer"]
+__all__ = [
+    "PreparedCircuit",
+    "PrepCache",
+    "prepare_locked",
+    "prep_cache_info",
+    "clear_prep_cache",
+    "format_table",
+    "Timer",
+]
 
 
 @dataclass
@@ -44,7 +54,101 @@ class Timer:
         return False
 
 
-_PREP_CACHE = {}
+class PrepCache:
+    """Bounded per-process LRU cache for :class:`PreparedCircuit` triples.
+
+    Replaces the old module-global dict, which had two problems once
+    preparations started running inside campaign worker pools:
+
+    * **Lifetime** — it grew without bound for the life of the process; a
+      long campaign sweep over circuits x techniques x seeds kept every
+      prepared netlist (plus its compiled engine) alive forever.
+    * **Fork/spawn safety** — a ``fork``-started worker inherited the
+      parent's whole cache (multiplying resident memory per worker), and
+      the prepared objects carry lazily-mutated state (compiled-engine
+      and refutation-stimulus caches) that should stay process-local.
+
+    Entries are therefore keyed to ``os.getpid()``: the first access in a
+    new process (forked child or spawn-fresh import) starts from an empty
+    table, and the least-recently-used entry is evicted once ``capacity``
+    is exceeded.
+    """
+
+    def __init__(self, capacity=None):
+        if capacity is None:
+            capacity = int(os.environ.get("REPRO_PREP_CACHE_CAPACITY", "16"))
+        self.capacity = max(1, capacity)
+        self._pid = None
+        self._data = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _entries(self):
+        pid = os.getpid()
+        if pid != self._pid:
+            self._data = OrderedDict()
+            self._pid = pid
+            self.hits = self.misses = self.evictions = 0
+        return self._data
+
+    def get(self, key):
+        data = self._entries()
+        value = data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value):
+        data = self._entries()
+        data[key] = value
+        data.move_to_end(key)
+        while len(data) > self.capacity:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self):
+        self._entries().clear()
+
+    def __len__(self):
+        return len(self._entries())
+
+    def info(self):
+        return {
+            "pid": os.getpid(),
+            "size": len(self._entries()),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+_PREP_CACHE = PrepCache()
+
+
+def prep_cache_info():
+    """Statistics of the process-local preparation cache."""
+    return _PREP_CACHE.info()
+
+
+def clear_prep_cache():
+    _PREP_CACHE.clear()
+
+
+def _prep_key(circuit_name, technique, scale, seed, synth_seed, resynth, h):
+    """Canonical cache key covering every argument that changes the output.
+
+    ``h`` only reaches the locking function for SFLL-HD, where ``None``
+    means the default distance 1 — both facts are normalized here so
+    equivalent preparations share one entry while *differing* ones
+    (different ``resynth``, ``h``, or ``synth_seed``) can never alias.
+    """
+    eff_h = (1 if h is None else h) if technique == "sfll_hd" else None
+    return (circuit_name, technique, scale, seed, synth_seed, bool(resynth), eff_h)
 
 
 def prepare_locked(
@@ -61,12 +165,15 @@ def prepare_locked(
 
     Mirrors the paper's setup: hosts locked at RTL, then synthesized "to
     break the regular structure of the locking scheme".  Deterministic in
-    all arguments; results are memoized per process.
+    all arguments; results are memoized per process in a bounded LRU
+    (:class:`PrepCache`).
     """
     scale = resolve_scale(scale)
-    key = (circuit_name, technique, scale, seed, synth_seed, resynth, h)
-    if cache and key in _PREP_CACHE:
-        return _PREP_CACHE[key]
+    key = _prep_key(circuit_name, technique, scale, seed, synth_seed, resynth, h)
+    if cache:
+        cached = _PREP_CACHE.get(key)
+        if cached is not None:
+            return cached
 
     start = time.monotonic()
     spec = SPECS[circuit_name]
@@ -93,7 +200,7 @@ def prepare_locked(
         prep_elapsed=time.monotonic() - start,
     )
     if cache:
-        _PREP_CACHE[key] = prepared
+        _PREP_CACHE.put(key, prepared)
     return prepared
 
 

@@ -1,9 +1,21 @@
-"""Row builders for every table and figure of the KRATT paper.
+"""Cell and row builders for every table and figure of the KRATT paper.
 
-Each function regenerates one artifact of the evaluation section and
-returns ``(header, rows)`` ready for
-:func:`repro.experiments.harness.format_table`.  The benchmarks print
-them; EXPERIMENTS.md records paper-vs-measured values.
+Each artifact (Tables I-V, Fig. 6, the Valkyrie-style census) is defined
+by three functions sharing one ``options`` dict:
+
+* ``<artifact>_expand(options)`` — the list of independent grid cells
+  (JSON-safe parameter dicts) the artifact decomposes into;
+* ``<artifact>_cell(cell, options)`` — run one cell and return a
+  JSON-safe result dict (``"row"`` plus whatever the aggregation needs);
+* ``<artifact>_aggregate(results, options)`` — fold the cell results,
+  in expansion order, into ``(header, rows)`` for
+  :func:`repro.experiments.harness.format_table`.
+
+The classic serial entry points (``table1_rows`` ...) are thin
+expand→cell→aggregate loops, so the campaign orchestrator
+(:mod:`repro.experiments.campaign`) — which runs the same cells sharded
+across a worker pool and persisted per cell — produces bit-identical
+tables by construction.
 
 All attacks see only the *resynthesized* locked netlist and the key-input
 names (plus an oracle in OG experiments), never the ground truth.
@@ -32,6 +44,8 @@ from .harness import Timer, prepare_locked
 __all__ = [
     "TABLE1_CIRCUITS",
     "TABLE2_TECHNIQUES",
+    "TABLE4_CIRCUITS",
+    "HELLO_CIRCUITS",
     "table1_rows",
     "table2_rows",
     "table3_rows",
@@ -49,29 +63,67 @@ HELLO_CIRCUITS = ("final_v1", "final_v2", "final_v3")
 _SCOPE_FAST = {"use_implications": False, "power_patterns": 16}
 
 
+def _opt(options, key, default):
+    value = (options or {}).get(key)
+    return default if value is None else value
+
+
+def _serial_rows(expand, cell, aggregate, options):
+    return aggregate([cell(c, options) for c in expand(options)], options)
+
+
+# ----------------------------------------------------------------------
+# Table I: benchmark details (published vs generated stand-ins).
+# ----------------------------------------------------------------------
+
+TABLE1_HEADER = (
+    "Circuit", "#inputs", "#outputs", "#gates(paper)", "#gates(gen)",
+    "#key inputs", "scale",
+)
+
+
+def table1_expand(options):
+    circuits = _opt(options, "circuits", TABLE1_CIRCUITS)
+    return [{"circuit": name} for name in circuits]
+
+
+def table1_cell(cell, options):
+    scale = resolve_scale(_opt(options, "scale", None))
+    name = cell["circuit"]
+    spec = SPECS[name]
+    host = generate_host(name, scale=scale)
+    return {
+        "row": [
+            name,
+            len(host.inputs),
+            len(host.outputs),
+            spec.gates,
+            host.num_gates,
+            spec.key_width,
+            scale,
+        ]
+    }
+
+
+def table1_aggregate(results, options):
+    return TABLE1_HEADER, [tuple(r["row"]) for r in results]
+
+
 def table1_rows(scale=None):
     """Table I: benchmark details (published vs generated stand-ins)."""
-    scale = resolve_scale(scale)
-    header = (
-        "Circuit", "#inputs", "#outputs", "#gates(paper)", "#gates(gen)",
-        "#key inputs", "scale",
+    return _serial_rows(
+        table1_expand, table1_cell, table1_aggregate, {"scale": scale}
     )
-    rows = []
-    for name in TABLE1_CIRCUITS:
-        spec = SPECS[name]
-        host = generate_host(name, scale=scale)
-        rows.append(
-            (
-                name,
-                len(host.inputs),
-                len(host.outputs),
-                spec.gates,
-                host.num_gates,
-                spec.key_width,
-                scale,
-            )
-        )
-    return header, rows
+
+
+# ----------------------------------------------------------------------
+# Table II: OL attacks (SCOPE vs KRATT) on the ISCAS/ITC circuits.
+# ----------------------------------------------------------------------
+
+TABLE2_HEADER = (
+    "Circuit", "Technique", "SCOPE cdk/dk", "SCOPE CPU",
+    "KRATT cdk/dk", "KRATT CPU", "KRATT method",
+)
 
 
 def _ol_cell(locked, guesses, elapsed):
@@ -79,34 +131,107 @@ def _ol_cell(locked, guesses, elapsed):
     return f"{score.cdk}/{score.dk}", f"{elapsed:.2f}"
 
 
+def table2_expand(options):
+    circuits = _opt(options, "circuits", TABLE1_CIRCUITS)
+    techniques = _opt(options, "techniques", TABLE2_TECHNIQUES)
+    return [
+        {"circuit": c, "technique": t} for c in circuits for t in techniques
+    ]
+
+
+def table2_cell(cell, options):
+    circuit_name, technique = cell["circuit"], cell["technique"]
+    scale = _opt(options, "scale", None)
+    qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
+    prep = prepare_locked(circuit_name, technique, scale=scale)
+    with Timer() as t_scope:
+        scope = scope_attack(
+            prep.netlist, prep.locked.key_inputs, rule="preserve",
+            **_SCOPE_FAST,
+        )
+    scope_cell = _ol_cell(prep.locked, scope.guesses, t_scope.elapsed)
+    with Timer() as t_kratt:
+        result = kratt_ol_attack(
+            prep.netlist, prep.locked.key_inputs,
+            qbf_time_limit=qbf_time_limit,
+            scope_kwargs=_SCOPE_FAST,
+            technique=technique,
+        )
+    kratt_cell = _ol_cell(prep.locked, result.key, t_kratt.elapsed)
+    return {
+        "row": [circuit_name, technique, *scope_cell, *kratt_cell,
+                result.details.get("method", "-")],
+        "attack": result.as_dict(),
+    }
+
+
+def table2_aggregate(results, options):
+    return TABLE2_HEADER, [tuple(r["row"]) for r in results]
+
+
 def table2_rows(scale=None, circuits=TABLE1_CIRCUITS, techniques=TABLE2_TECHNIQUES,
                 qbf_time_limit=3.0):
     """Table II: OL attacks (SCOPE vs KRATT) on the ISCAS/ITC circuits."""
-    header = ("Circuit", "Technique", "SCOPE cdk/dk", "SCOPE CPU",
-              "KRATT cdk/dk", "KRATT CPU", "KRATT method")
-    rows = []
-    for circuit_name in circuits:
-        for technique in techniques:
-            prep = prepare_locked(circuit_name, technique, scale=scale)
-            with Timer() as t_scope:
-                scope = scope_attack(
-                    prep.netlist, prep.locked.key_inputs, rule="preserve",
-                    **_SCOPE_FAST,
-                )
-            scope_cell = _ol_cell(prep.locked, scope.guesses, t_scope.elapsed)
-            with Timer() as t_kratt:
-                result = kratt_ol_attack(
-                    prep.netlist, prep.locked.key_inputs,
-                    qbf_time_limit=qbf_time_limit,
-                    scope_kwargs=_SCOPE_FAST,
-                    technique=technique,
-                )
-            kratt_cell = _ol_cell(prep.locked, result.key, t_kratt.elapsed)
-            rows.append(
-                (circuit_name, technique, *scope_cell, *kratt_cell,
-                 result.details.get("method", "-"))
-            )
-    return header, rows
+    return _serial_rows(table2_expand, table2_cell, table2_aggregate, {
+        "scale": scale,
+        "circuits": circuits,
+        "techniques": techniques,
+        "qbf_time_limit": qbf_time_limit,
+    })
+
+
+# ----------------------------------------------------------------------
+# Table III: OG attacks (SAT / DDIP / AppSAT / KRATT).
+# ----------------------------------------------------------------------
+
+TABLE3_HEADER = (
+    "Circuit", "Technique", "SAT", "DDIP", "AppSAT", "KRATT", "KRATT ok",
+)
+
+
+def table3_expand(options):
+    circuits = _opt(options, "circuits", TABLE1_CIRCUITS)
+    techniques = _opt(options, "techniques", TABLE2_TECHNIQUES)
+    return [
+        {"circuit": c, "technique": t} for c in circuits for t in techniques
+    ]
+
+
+def table3_cell(cell, options):
+    circuit_name, technique = cell["circuit"], cell["technique"]
+    scale = _opt(options, "scale", None)
+    baseline_time_limit = _opt(options, "baseline_time_limit", 15.0)
+    qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
+    prep = prepare_locked(circuit_name, technique, scale=scale)
+    cells = []
+    for attack in (sat_attack, ddip_attack, appsat_attack):
+        oracle = Oracle(prep.locked.original)
+        result = attack(
+            prep.netlist, prep.locked.key_inputs, oracle,
+            time_limit=baseline_time_limit, technique=technique,
+        )
+        if result.timed_out:
+            cells.append("OoT")
+        elif result.success and score_key(prep.locked, result.key).functional:
+            cells.append(f"{result.elapsed:.2f}")
+        else:
+            cells.append("wrong" if result.key else "fail")
+    oracle = Oracle(prep.locked.original)
+    result = kratt_og_attack(
+        prep.netlist, prep.locked.key_inputs, oracle,
+        qbf_time_limit=qbf_time_limit, technique=technique,
+    )
+    score = score_key(prep.locked, result.key)
+    cells.append(f"{result.elapsed:.2f}")
+    return {
+        "row": [circuit_name, technique, *cells,
+                "yes" if score.functional else "no"],
+        "attack": result.as_dict(),
+    }
+
+
+def table3_aggregate(results, options):
+    return TABLE3_HEADER, [tuple(r["row"]) for r in results]
 
 
 def table3_rows(scale=None, circuits=TABLE1_CIRCUITS, techniques=TABLE2_TECHNIQUES,
@@ -116,111 +241,205 @@ def table3_rows(scale=None, circuits=TABLE1_CIRCUITS, techniques=TABLE2_TECHNIQU
     ``baseline_time_limit`` is the scaled stand-in for the paper's 2-day
     limit; baselines hitting it report OoT, as in the paper.
     """
-    header = ("Circuit", "Technique", "SAT", "DDIP", "AppSAT", "KRATT", "KRATT ok")
-    rows = []
-    for circuit_name in circuits:
-        for technique in techniques:
-            prep = prepare_locked(circuit_name, technique, scale=scale)
-            cells = []
-            for attack in (sat_attack, ddip_attack, appsat_attack):
-                oracle = Oracle(prep.locked.original)
-                result = attack(
-                    prep.netlist, prep.locked.key_inputs, oracle,
-                    time_limit=baseline_time_limit, technique=technique,
-                )
-                if result.timed_out:
-                    cells.append("OoT")
-                elif result.success and score_key(prep.locked, result.key).functional:
-                    cells.append(f"{result.elapsed:.2f}")
-                else:
-                    cells.append("wrong" if result.key else "fail")
-            oracle = Oracle(prep.locked.original)
-            result = kratt_og_attack(
-                prep.netlist, prep.locked.key_inputs, oracle,
-                qbf_time_limit=qbf_time_limit, technique=technique,
-            )
-            score = score_key(prep.locked, result.key)
-            cells.append(f"{result.elapsed:.2f}")
-            rows.append((circuit_name, technique, *cells,
-                         "yes" if score.functional else "no"))
-    return header, rows
+    return _serial_rows(table3_expand, table3_cell, table3_aggregate, {
+        "scale": scale,
+        "circuits": circuits,
+        "techniques": techniques,
+        "baseline_time_limit": baseline_time_limit,
+        "qbf_time_limit": qbf_time_limit,
+    })
+
+
+# ----------------------------------------------------------------------
+# Table IV: OL attacks on Gen-Anti-SAT locked ITC'99 circuits.
+# ----------------------------------------------------------------------
+
+TABLE4_HEADER = (
+    "Circuit", "SCOPE cdk/dk", "SCOPE CPU", "KRATT cdk/dk",
+    "KRATT CPU", "KRATT method",
+)
+
+
+def table4_expand(options):
+    circuits = _opt(options, "circuits", TABLE4_CIRCUITS)
+    return [{"circuit": name} for name in circuits]
+
+
+def table4_cell(cell, options):
+    circuit_name = cell["circuit"]
+    scale = _opt(options, "scale", None)
+    qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
+    prep = prepare_locked(circuit_name, "genantisat", scale=scale)
+    with Timer() as t_scope:
+        scope = scope_attack(
+            prep.netlist, prep.locked.key_inputs, rule="preserve",
+            **_SCOPE_FAST,
+        )
+    scope_cell = _ol_cell(prep.locked, scope.guesses, t_scope.elapsed)
+    with Timer() as t_kratt:
+        result = kratt_ol_attack(
+            prep.netlist, prep.locked.key_inputs,
+            qbf_time_limit=qbf_time_limit, scope_kwargs=_SCOPE_FAST,
+            technique="genantisat",
+        )
+    kratt_cell = _ol_cell(prep.locked, result.key, t_kratt.elapsed)
+    return {
+        "row": [circuit_name, *scope_cell, *kratt_cell,
+                result.details.get("method", "-")],
+        "attack": result.as_dict(),
+    }
+
+
+def table4_aggregate(results, options):
+    return TABLE4_HEADER, [tuple(r["row"]) for r in results]
 
 
 def table4_rows(scale=None, circuits=TABLE4_CIRCUITS, qbf_time_limit=3.0):
     """Table IV: OL attacks on Gen-Anti-SAT locked ITC'99 circuits."""
-    header = ("Circuit", "SCOPE cdk/dk", "SCOPE CPU", "KRATT cdk/dk",
-              "KRATT CPU", "KRATT method")
-    rows = []
-    for circuit_name in circuits:
-        prep = prepare_locked(circuit_name, "genantisat", scale=scale)
-        with Timer() as t_scope:
-            scope = scope_attack(
-                prep.netlist, prep.locked.key_inputs, rule="preserve",
-                **_SCOPE_FAST,
-            )
-        scope_cell = _ol_cell(prep.locked, scope.guesses, t_scope.elapsed)
-        with Timer() as t_kratt:
-            result = kratt_ol_attack(
-                prep.netlist, prep.locked.key_inputs,
-                qbf_time_limit=qbf_time_limit, scope_kwargs=_SCOPE_FAST,
-                technique="genantisat",
-            )
-        kratt_cell = _ol_cell(prep.locked, result.key, t_kratt.elapsed)
-        rows.append((circuit_name, *scope_cell, *kratt_cell,
-                     result.details.get("method", "-")))
-    return header, rows
+    return _serial_rows(table4_expand, table4_cell, table4_aggregate, {
+        "scale": scale,
+        "circuits": circuits,
+        "qbf_time_limit": qbf_time_limit,
+    })
+
+
+# ----------------------------------------------------------------------
+# Table V: HeLLO: CTF'22 circuits — details plus OL and OG attacks.
+# ----------------------------------------------------------------------
+
+TABLE5_HEADER = (
+    "Circuit", "#in", "#out", "#gates", "#keys", "h",
+    "SCOPE cdk/dk", "KRATT-OL cdk/dk", "SAT", "KRATT-OG", "OG ok",
+)
+
+
+def table5_expand(options):
+    circuits = _opt(options, "circuits", HELLO_CIRCUITS)
+    return [{"circuit": name} for name in circuits]
+
+
+def table5_cell(cell, options):
+    name = cell["circuit"]
+    scale = resolve_scale(_opt(options, "scale", None))
+    baseline_time_limit = _opt(options, "baseline_time_limit", 30.0)
+    qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
+    locked = hello_locked(name, scale=scale)
+    netlist = resynthesize(locked.circuit, seed=1, effort=2)
+    with Timer() as t_scope:
+        scope = scope_attack(netlist, locked.key_inputs, rule="preserve",
+                             **_SCOPE_FAST)
+    scope_score = score_key(locked, scope.guesses)
+    result_ol = kratt_ol_attack(
+        netlist, locked.key_inputs, qbf_time_limit=qbf_time_limit,
+        scope_kwargs=_SCOPE_FAST, technique="sfll_hd",
+    )
+    ol_score = score_key(locked, result_ol.key)
+    oracle = Oracle(locked.original)
+    result_sat = sat_attack(
+        netlist, locked.key_inputs, oracle,
+        time_limit=baseline_time_limit, technique="sfll_hd",
+    )
+    sat_cell = "OoT" if result_sat.timed_out else (
+        f"{result_sat.elapsed:.2f}"
+        if result_sat.success and score_key(locked, result_sat.key).functional
+        else "wrong"
+    )
+    oracle = Oracle(locked.original)
+    result_og = kratt_og_attack(
+        netlist, locked.key_inputs, oracle,
+        qbf_time_limit=qbf_time_limit, technique="sfll_hd",
+    )
+    og_score = score_key(locked, result_og.key)
+    return {
+        "row": [
+            name,
+            len(locked.original.inputs),
+            len(locked.original.outputs),
+            netlist.num_gates,
+            locked.key_width,
+            HELLO_H[name],
+            scope_score.as_row(),
+            ol_score.as_row(),
+            sat_cell,
+            f"{result_og.elapsed:.2f}",
+            "yes" if og_score.functional else "no",
+        ],
+        "attack": result_og.as_dict(),
+    }
+
+
+def table5_aggregate(results, options):
+    return TABLE5_HEADER, [tuple(r["row"]) for r in results]
 
 
 def table5_rows(scale=None, baseline_time_limit=30.0, qbf_time_limit=3.0):
     """Table V: HeLLO: CTF'22 circuits — details plus OL and OG attacks."""
-    header = ("Circuit", "#in", "#out", "#gates", "#keys", "h",
-              "SCOPE cdk/dk", "KRATT-OL cdk/dk", "SAT", "KRATT-OG", "OG ok")
-    rows = []
-    scale = resolve_scale(scale)
-    for name in HELLO_CIRCUITS:
-        locked = hello_locked(name, scale=scale)
-        netlist = resynthesize(locked.circuit, seed=1, effort=2)
-        with Timer() as t_scope:
-            scope = scope_attack(netlist, locked.key_inputs, rule="preserve",
-                                 **_SCOPE_FAST)
-        scope_score = score_key(locked, scope.guesses)
-        result_ol = kratt_ol_attack(
-            netlist, locked.key_inputs, qbf_time_limit=qbf_time_limit,
-            scope_kwargs=_SCOPE_FAST, technique="sfll_hd",
+    return _serial_rows(table5_expand, table5_cell, table5_aggregate, {
+        "scale": scale,
+        "baseline_time_limit": baseline_time_limit,
+        "qbf_time_limit": qbf_time_limit,
+    })
+
+
+# ----------------------------------------------------------------------
+# Fig. 6: impact of resynthesis on KRATT's run-time (c6288 hosts).
+# ----------------------------------------------------------------------
+
+FIG6_HEADER = ("Technique", "variant", "effort", "delay_bias", "KRATT CPU", "ok")
+
+
+def fig6_expand(options):
+    techniques = _opt(options, "techniques", TABLE2_TECHNIQUES)
+    variants = _opt(options, "variants", 10)
+    return [
+        {"technique": t, "variant": v}
+        for t in techniques for v in range(variants)
+    ]
+
+
+def fig6_cell(cell, options):
+    technique, v = cell["technique"], cell["variant"]
+    scale = _opt(options, "scale", None)
+    qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
+    prep = prepare_locked("c6288", technique, scale=scale, resynth=False)
+    effort = 1 + (v % 3)
+    delay_bias = (v % 5) / 4.0
+    netlist = resynthesize(
+        prep.locked.circuit, seed=100 + v, effort=effort,
+        delay_bias=delay_bias,
+    )
+    oracle = Oracle(prep.locked.original)
+    with Timer() as t:
+        result = kratt_og_attack(
+            netlist, prep.locked.key_inputs, oracle,
+            qbf_time_limit=qbf_time_limit, technique=technique,
         )
-        ol_score = score_key(locked, result_ol.key)
-        oracle = Oracle(locked.original)
-        result_sat = sat_attack(
-            netlist, locked.key_inputs, oracle,
-            time_limit=baseline_time_limit, technique="sfll_hd",
+    score = score_key(prep.locked, result.key)
+    return {
+        "row": [technique, v, effort, f"{delay_bias:.2f}",
+                f"{t.elapsed:.2f}", "yes" if score.functional else "no"],
+        "technique": technique,
+        "elapsed": t.elapsed,
+        "attack": result.as_dict(),
+    }
+
+
+def fig6_aggregate(results, options):
+    """Variant rows in expansion order plus the per-technique summary."""
+    rows = [tuple(r["row"]) for r in results]
+    times = {}
+    for r in results:
+        times.setdefault(r["technique"], []).append(r["elapsed"])
+    summary_rows = []
+    for tech, series in times.items():
+        mean = statistics.mean(series)
+        std = statistics.pstdev(series)
+        ratio = max(series) / max(min(series), 1e-9)
+        summary_rows.append(
+            (tech, "mean/std/ratio", "-", "-",
+             f"{mean:.2f}/{std:.2f}/{ratio:.2f}", "-")
         )
-        sat_cell = "OoT" if result_sat.timed_out else (
-            f"{result_sat.elapsed:.2f}"
-            if result_sat.success and score_key(locked, result_sat.key).functional
-            else "wrong"
-        )
-        oracle = Oracle(locked.original)
-        result_og = kratt_og_attack(
-            netlist, locked.key_inputs, oracle,
-            qbf_time_limit=qbf_time_limit, technique="sfll_hd",
-        )
-        og_score = score_key(locked, result_og.key)
-        rows.append(
-            (
-                name,
-                len(locked.original.inputs),
-                len(locked.original.outputs),
-                netlist.num_gates,
-                locked.key_width,
-                HELLO_H[name],
-                scope_score.as_row(),
-                ol_score.as_row(),
-                sat_cell,
-                f"{result_og.elapsed:.2f}",
-                "yes" if og_score.functional else "no",
-            )
-        )
-    return header, rows
+    return FIG6_HEADER, rows + summary_rows
 
 
 def fig6_rows(scale=None, variants=10, techniques=TABLE2_TECHNIQUES,
@@ -232,43 +451,85 @@ def fig6_rows(scale=None, variants=10, techniques=TABLE2_TECHNIQUES,
     delay constraints), runs KRATT on each, and reports the run-time
     series plus the paper's summary statistics (mean, stddev, max/min).
     """
-    header = ("Technique", "variant", "effort", "delay_bias", "KRATT CPU", "ok")
-    rows = []
-    summary = {}
-    for technique in techniques:
-        prep = prepare_locked("c6288", technique, scale=scale, resynth=False)
-        times = []
-        for v in range(variants):
-            effort = 1 + (v % 3)
-            delay_bias = (v % 5) / 4.0
-            netlist = resynthesize(
-                prep.locked.circuit, seed=100 + v, effort=effort,
-                delay_bias=delay_bias,
-            )
-            oracle = Oracle(prep.locked.original)
-            with Timer() as t:
-                result = kratt_og_attack(
-                    netlist, prep.locked.key_inputs, oracle,
-                    qbf_time_limit=qbf_time_limit, technique=technique,
-                )
-            score = score_key(prep.locked, result.key)
-            times.append(t.elapsed)
-            rows.append((technique, v, effort, f"{delay_bias:.2f}",
-                         f"{t.elapsed:.2f}", "yes" if score.functional else "no"))
-        mean = statistics.mean(times)
-        std = statistics.pstdev(times)
-        ratio = max(times) / max(min(times), 1e-9)
-        summary[technique] = (mean, std, ratio)
-    summary_rows = [
-        (tech, "mean/std/ratio", "-", "-",
-         f"{m:.2f}/{s:.2f}/{r:.2f}", "-")
-        for tech, (m, s, r) in summary.items()
+    return _serial_rows(fig6_expand, fig6_cell, fig6_aggregate, {
+        "scale": scale,
+        "variants": variants,
+        "techniques": techniques,
+        "qbf_time_limit": qbf_time_limit,
+    })
+
+
+# ----------------------------------------------------------------------
+# Valkyrie-repository-style census (Section IV, second experiment).
+# ----------------------------------------------------------------------
+
+VALKYRIE_HEADER = ("Circuit", "Technique", "synth seed", "method", "functional")
+
+VALKYRIE_CIRCUITS = ("b14_C", "b15_C")
+VALKYRIE_TECHNIQUES = SFLT_TECHNIQUES + ("ttlock", "cac")
+
+
+def valkyrie_expand(options):
+    circuits = _opt(options, "circuits", VALKYRIE_CIRCUITS)
+    techniques = _opt(options, "techniques", VALKYRIE_TECHNIQUES)
+    synth_seeds = _opt(options, "synth_seeds", (1, 2))
+    return [
+        {"circuit": c, "technique": t, "synth_seed": s}
+        for c in circuits for t in techniques for s in synth_seeds
     ]
-    return header, rows + summary_rows
+
+
+def valkyrie_cell(cell, options):
+    circuit_name = cell["circuit"]
+    technique = cell["technique"]
+    synth_seed = cell["synth_seed"]
+    scale = _opt(options, "scale", None)
+    qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
+    prep = prepare_locked(
+        circuit_name, technique, scale=scale, synth_seed=synth_seed
+    )
+    if technique in SFLT_TECHNIQUES:
+        result = kratt_ol_attack(
+            prep.netlist, prep.locked.key_inputs,
+            qbf_time_limit=qbf_time_limit, scope_kwargs=_SCOPE_FAST,
+            technique=technique,
+        )
+    else:
+        oracle = Oracle(prep.locked.original)
+        result = kratt_og_attack(
+            prep.netlist, prep.locked.key_inputs, oracle,
+            qbf_time_limit=qbf_time_limit, technique=technique,
+        )
+    method = result.details.get("method", "-")
+    score = score_key(prep.locked, result.key)
+    return {
+        "row": [circuit_name, technique, synth_seed, method,
+                "yes" if score.functional else "no"],
+        "method": method,
+        "attack": result.as_dict(),
+    }
+
+
+def valkyrie_aggregate(results, options):
+    counts = {"qbf": 0, "structural": 0, "other": 0}
+    rows = []
+    for r in results:
+        method = r["method"]
+        if method == "qbf":
+            counts["qbf"] += 1
+        elif method == "og-structural":
+            counts["structural"] += 1
+        else:
+            counts["other"] += 1
+        rows.append(tuple(r["row"]))
+    rows.append(("TOTAL", f"qbf={counts['qbf']}",
+                 f"structural={counts['structural']}",
+                 f"other={counts['other']}", ""))
+    return VALKYRIE_HEADER, rows
 
 
 def valkyrie_rows(scale=None, synth_seeds=(1, 2), qbf_time_limit=3.0,
-                  circuits=("b14_C", "b15_C"), key_widths=(None,)):
+                  circuits=VALKYRIE_CIRCUITS, key_widths=(None,)):
     """Valkyrie-repository-style census (Section IV, second experiment).
 
     Sweeps SFLTs and DFLTs over hosts and synthesis seeds; reports how
@@ -276,38 +537,9 @@ def valkyrie_rows(scale=None, synth_seeds=(1, 2), qbf_time_limit=3.0,
     analysis for DFLTs) mirroring the paper's 720-circuit census at
     reproduction scale.
     """
-    header = ("Circuit", "Technique", "synth seed", "method", "functional")
-    rows = []
-    counts = {"qbf": 0, "structural": 0, "other": 0}
-    for circuit_name in circuits:
-        for technique in SFLT_TECHNIQUES + ("ttlock", "cac"):
-            for synth_seed in synth_seeds:
-                prep = prepare_locked(
-                    circuit_name, technique, scale=scale, synth_seed=synth_seed
-                )
-                if technique in SFLT_TECHNIQUES:
-                    result = kratt_ol_attack(
-                        prep.netlist, prep.locked.key_inputs,
-                        qbf_time_limit=qbf_time_limit, scope_kwargs=_SCOPE_FAST,
-                        technique=technique,
-                    )
-                else:
-                    oracle = Oracle(prep.locked.original)
-                    result = kratt_og_attack(
-                        prep.netlist, prep.locked.key_inputs, oracle,
-                        qbf_time_limit=qbf_time_limit, technique=technique,
-                    )
-                method = result.details.get("method", "-")
-                if method == "qbf":
-                    counts["qbf"] += 1
-                elif method == "og-structural":
-                    counts["structural"] += 1
-                else:
-                    counts["other"] += 1
-                score = score_key(prep.locked, result.key)
-                rows.append((circuit_name, technique, synth_seed, method,
-                             "yes" if score.functional else "no"))
-    rows.append(("TOTAL", f"qbf={counts['qbf']}",
-                 f"structural={counts['structural']}",
-                 f"other={counts['other']}", ""))
-    return header, rows
+    return _serial_rows(valkyrie_expand, valkyrie_cell, valkyrie_aggregate, {
+        "scale": scale,
+        "synth_seeds": synth_seeds,
+        "qbf_time_limit": qbf_time_limit,
+        "circuits": circuits,
+    })

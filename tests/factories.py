@@ -8,6 +8,7 @@ by a non-colliding name: ``benchmarks/`` has its own conftest, and two
 import random
 
 from repro.netlist import Circuit
+from repro.sat.cnf import CNF
 
 GATE_CHOICES = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR"]
 
@@ -64,3 +65,40 @@ def build_exotic_circuit(seed=0, n_inputs=7, n_gates=40):
     circuit.set_outputs(signals[-4:])
     circuit.validate()
     return circuit
+
+
+def build_locked_circuit(technique, seed=0, n_inputs=8, n_gates=30,
+                         key_width=4):
+    """Random host locked with ``technique``; returns the LockedCircuit.
+
+    The host is a seeded random DAG, so the locked netlists the
+    metamorphic synth tests chew on differ per (technique, seed) pair.
+    """
+    from repro.locking import TECHNIQUES
+
+    host = build_random_circuit(
+        n_inputs=n_inputs, n_gates=n_gates, n_outputs=3, seed=seed
+    )
+    lock = TECHNIQUES[technique]
+    if technique == "sfll_hd":
+        return lock(host, key_width, h=1, seed=seed)
+    return lock(host, key_width, seed=seed)
+
+
+def random_3cnf(n_vars, n_clauses, seed=0):
+    """Seeded random 3-CNF instance over ``n_vars`` variables.
+
+    Clauses draw three *distinct* variables with independent random
+    polarities — the fixed-width random model whose SAT/UNSAT phase
+    transition sits near ratio 4.27, which is where the solver fuzz
+    tests want their instances.
+    """
+    rng = random.Random(("3cnf", seed, n_vars, n_clauses).__str__())
+    cnf = CNF()
+    variables = [cnf.new_var(f"v{i}") for i in range(n_vars)]
+    for _ in range(n_clauses):
+        chosen = rng.sample(variables, 3)
+        cnf.add_clause([
+            var if rng.random() < 0.5 else -var for var in chosen
+        ])
+    return cnf

@@ -1,0 +1,98 @@
+"""Solver fuzzing: the CDCL rewrite vs the seed solver, on random 3-CNF.
+
+``benchmarks/legacy_solver.py`` is the pre-overhaul CDCL kept as a
+baseline; both solvers are complete, so on every instance they must
+agree on SAT/UNSAT, and every claimed model must actually satisfy the
+formula.  Instances straddle the random-3-SAT phase transition
+(clause/variable ratio ~4.27) where both branches of the search get
+exercised.
+"""
+
+import importlib.util
+import pathlib
+import random
+
+import pytest
+
+from factories import random_3cnf
+from repro.sat.solver import solve_cnf
+
+_LEGACY_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "legacy_solver.py"
+)
+
+
+def _load_legacy():
+    spec = importlib.util.spec_from_file_location("legacy_solver", _LEGACY_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+legacy = _load_legacy()
+
+
+def _satisfies(cnf, model):
+    for clause in cnf.clauses:
+        if any(
+            model.get(abs(lit), False) == (lit > 0) for lit in clause
+        ):
+            continue
+        return False
+    return True
+
+
+def _instance(seed):
+    rng = random.Random(("fuzz-shape", seed).__str__())
+    n_vars = rng.randint(6, 24)
+    ratio = rng.uniform(3.0, 5.5)
+    n_clauses = max(4, int(n_vars * ratio))
+    return random_3cnf(n_vars, n_clauses, seed=seed)
+
+
+@pytest.mark.parametrize("seed", range(50))
+def test_solvers_agree_on_random_3cnf(seed):
+    cnf = _instance(seed)
+    status_new, model_new = solve_cnf(cnf, max_conflicts=200_000)
+    status_old, model_old = legacy.solve_cnf(cnf, max_conflicts=200_000)
+    assert status_new is not None, "rewrite exhausted its conflict budget"
+    assert status_old is not None, "legacy exhausted its conflict budget"
+    assert status_new == status_old, (
+        f"seed {seed}: rewrite={status_new} legacy={status_old}"
+    )
+    if status_new:
+        assert _satisfies(cnf, model_new), f"seed {seed}: rewrite model invalid"
+        assert _satisfies(cnf, model_old), f"seed {seed}: legacy model invalid"
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_agreement_under_assumptions(seed):
+    """Pinning literals via assumptions must not break the agreement."""
+    cnf = _instance(seed)
+    rng = random.Random(("fuzz-assume", seed).__str__())
+    variables = rng.sample(range(1, cnf.num_vars + 1), min(3, cnf.num_vars))
+    assumptions = [v if rng.random() < 0.5 else -v for v in variables]
+    status_new, model_new = solve_cnf(
+        cnf, assumptions=assumptions, max_conflicts=200_000
+    )
+    status_old, _ = legacy.solve_cnf(
+        cnf, assumptions=assumptions, max_conflicts=200_000
+    )
+    assert status_new is not None and status_old is not None
+    assert status_new == status_old
+    if status_new:
+        assert _satisfies(cnf, model_new)
+        for lit in assumptions:
+            assert model_new.get(abs(lit), False) == (lit > 0)
+
+
+def test_unsat_core_shape_trivial_contradiction():
+    """Both solvers refuse x AND NOT x immediately."""
+    from repro.sat.cnf import CNF
+
+    cnf = CNF()
+    v = cnf.new_var("x")
+    cnf.add_clause([v])
+    cnf.add_clause([-v])
+    assert solve_cnf(cnf)[0] is False
+    assert legacy.solve_cnf(cnf)[0] is False
