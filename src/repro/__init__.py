@@ -37,9 +37,12 @@ True
 
 __version__ = "1.0.0"
 
-from . import attacks, benchgen, experiments, locking, netlist, qbf, sat, synth
+from . import attacks, benchgen, budget, experiments, locking, netlist, qbf, sat, synth
+from .budget import Deadline
 
 __all__ = [
+    "budget",
+    "Deadline",
     "netlist",
     "sat",
     "qbf",

@@ -16,8 +16,8 @@ functional verdict explicitly.
 from __future__ import annotations
 
 import random
-import time
 
+from ..budget import Deadline
 from .dip import DipEngine
 from .metrics import AttackResult
 
@@ -47,16 +47,17 @@ def appsat_attack(
     settle_rounds:
         Consecutive error-free random rounds needed to declare the
         candidate key settled (approximate termination).
+
+    ``time_limit`` is float seconds or a shared
+    :class:`repro.budget.Deadline` bounding every solver call.
     """
-    start = time.monotonic()
+    deadline = Deadline.of(time_limit)
+    start = deadline.now()
     rng = random.Random(("appsat", seed, circuit.name).__str__())
     engine = DipEngine(circuit, key_inputs)
     iterations = 0
     clean_rounds = 0
     queries_before = oracle.query_count
-
-    def remaining():
-        return None if time_limit is None else time_limit - (time.monotonic() - start)
 
     def result(key, success, timed_out, approximate):
         return AttackResult(
@@ -67,8 +68,8 @@ def appsat_attack(
             success=success,
             timed_out=timed_out,
             iterations=iterations,
-            elapsed=time.monotonic() - start,
-            time_limit=time_limit,
+            elapsed=deadline.now() - start,
+            time_limit=deadline.limit,
             oracle_queries=oracle.query_count - queries_before,
             details={"approximate": approximate},
         )
@@ -77,17 +78,16 @@ def appsat_attack(
     data_inputs = [s for s in circuit.inputs if s not in key_set]
 
     while True:
-        budget = remaining()
-        if budget is not None and budget <= 0:
+        if deadline.expired():
             return result(None, False, True, False)
         if max_iterations is not None and iterations >= max_iterations:
             return result(None, False, True, False)
 
-        status, x = engine.find_dip(time_limit=budget)
+        status, x = engine.find_dip(time_limit=deadline)
         if status is None:
             return result(None, False, True, False)
         if status is False:
-            key = engine.extract_key(time_limit=remaining())
+            key = engine.extract_key(time_limit=deadline)
             return result(key, key is not None, key is None, False)
         iterations += 1
         y = oracle.query(x)

@@ -9,8 +9,7 @@ still exponential, hence the OoT entries of Table III.
 
 from __future__ import annotations
 
-import time
-
+from ..budget import Deadline
 from .dip import DipEngine
 from .metrics import AttackResult
 
@@ -30,15 +29,14 @@ def ddip_attack(
     Each round finds a DIP, queries the oracle, and then — while the
     budget allows — immediately finds and resolves a *second* DIP before
     the next satisfiability check, eliminating at least two wrong keys
-    per round on point-function locks.
+    per round on point-function locks.  ``time_limit`` is float seconds
+    or a shared :class:`repro.budget.Deadline`.
     """
-    start = time.monotonic()
+    deadline = Deadline.of(time_limit)
+    start = deadline.now()
     engine = DipEngine(circuit, key_inputs)
     iterations = 0
     queries_before = oracle.query_count
-
-    def remaining():
-        return None if time_limit is None else time_limit - (time.monotonic() - start)
 
     def timed_out_result(reason=None):
         details = {"reason": reason} if reason else {}
@@ -48,26 +46,24 @@ def ddip_attack(
             circuit=circuit.name,
             timed_out=True,
             iterations=iterations,
-            elapsed=time.monotonic() - start,
-            time_limit=time_limit,
+            elapsed=deadline.now() - start,
+            time_limit=deadline.limit,
             oracle_queries=oracle.query_count - queries_before,
             details=details,
         )
 
     settled = False
     while not settled:
-        budget = remaining()
-        if budget is not None and budget <= 0:
+        if deadline.expired():
             return timed_out_result()
         if max_iterations is not None and iterations >= max_iterations:
             return timed_out_result("iteration limit")
         iterations += 1
         # Two DIP eliminations per iteration.
         for _ in range(2):
-            budget = remaining()
-            if budget is not None and budget <= 0:
+            if deadline.expired():
                 return timed_out_result()
-            status, x = engine.find_dip(time_limit=budget)
+            status, x = engine.find_dip(time_limit=deadline)
             if status is None:
                 return timed_out_result()
             if status is False:
@@ -76,7 +72,7 @@ def ddip_attack(
             y = oracle.query(x)
             engine.add_io_constraint(x, y)
 
-    key = engine.extract_key(time_limit=remaining())
+    key = engine.extract_key(time_limit=deadline)
     return AttackResult(
         attack="ddip",
         technique=technique,
@@ -85,7 +81,7 @@ def ddip_attack(
         success=key is not None,
         timed_out=key is None,
         iterations=iterations,
-        elapsed=time.monotonic() - start,
-        time_limit=time_limit,
+        elapsed=deadline.now() - start,
+        time_limit=deadline.limit,
         oracle_queries=oracle.query_count - queries_before,
     )

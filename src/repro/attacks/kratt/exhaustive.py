@@ -22,9 +22,9 @@ The expansion budget bounds worst-case exponential candidate blow-up
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from ...budget import Deadline
 from ...netlist.blocks import add_equals_const, add_popcount
 from ...netlist.circuit import Circuit
 from ...netlist.gate import GateType
@@ -117,8 +117,12 @@ def og_exhaustive_search(
     Parameters mirror the paper: ``candidates`` come from the structural
     analysis (step 6), ``key_of_ppi`` from the removal step, ``h`` from
     the restore-unit classification (0 for comparator units).
+    ``time_limit`` accepts float seconds or a shared
+    :class:`repro.budget.Deadline`; expiry marks the result
+    ``exhausted_budget`` and also bounds the final HD-inference solve.
     """
-    start = time.monotonic()
+    deadline = Deadline.of(time_limit)
+    start = deadline.now()
     ppis = list(ppis)
     key_set = set(key_inputs)
     data_inputs = [s for s in locked.inputs if s not in key_set]
@@ -149,7 +153,7 @@ def og_exhaustive_search(
     for batch in batches():
         if done:
             break
-        if time_limit is not None and time.monotonic() - start > time_limit:
+        if deadline.expired():
             result.exhausted_budget = True
             break
         result.patterns_tested += len(batch)
@@ -198,28 +202,29 @@ def og_exhaustive_search(
                 if len(result.protected_patterns) >= needed:
                     key = infer_key_from_hd_constraints(
                         result.protected_patterns, h, ppis, key_of_ppi,
-                        locked, key_inputs, oracle,
+                        locked, key_inputs, oracle, time_limit=deadline,
                     )
                     if key is not None:
                         result.key = key
                         done = True
                         break
 
-    # Hamming case: try inference with whatever patterns were collected.
+    # Hamming case: try inference with whatever patterns were collected
+    # (the shared deadline also bounds this final SAT enumeration).
     if result.key is None and h > 0 and result.protected_patterns:
         result.key = infer_key_from_hd_constraints(
             result.protected_patterns, h, ppis, key_of_ppi,
-            locked, key_inputs, oracle,
+            locked, key_inputs, oracle, time_limit=deadline,
         )
 
     result.oracle_queries = oracle.query_count - queries_before
-    result.elapsed = time.monotonic() - start
+    result.elapsed = deadline.now() - start
     return result
 
 
 def infer_key_from_hd_constraints(
     protected_patterns, h, ppis, key_of_ppi, locked, key_inputs, oracle,
-    max_solutions=16,
+    max_solutions=16, time_limit=None,
 ):
     """Solve ``HD(p_i, s) == h`` for the secret center ``s`` by SAT.
 
@@ -251,7 +256,7 @@ def infer_key_from_hd_constraints(
         solver.add_clause([varmap[root]])
 
     for _ in range(max_solutions):
-        status = solver.solve(max_conflicts=500_000)
+        status = solver.solve(max_conflicts=500_000, time_limit=time_limit)
         if status is not True:
             return None
         model = solver.model()

@@ -13,12 +13,18 @@ Oracle-guided (OG) entry point — steps 1-3, 6-7::
 Both functions take only what the threat model allows: the locked netlist
 and the key-input names (plus the oracle in the OG case).  Ground truth
 (`LockedCircuit`) is used exclusively by the scoring layer.
+
+Budget semantics: each entry point accepts an overall ``time_limit``
+(float seconds or a shared :class:`repro.budget.Deadline`) that governs
+the *whole* attack from one monotonic clock; ``qbf_time_limit`` is the
+paper's per-stage cap on the QBF step (Section III-A caps DepQBF at one
+minute) and is applied as a sub-deadline of the overall budget, so the
+QBF stage can never spend more than either bound.
 """
 
 from __future__ import annotations
 
-import time
-
+from ...budget import Deadline
 from ..metrics import AttackResult
 from ..scope import scope_attack
 from .extraction import classify_restore_unit, locked_subcircuit
@@ -31,14 +37,14 @@ from .structural import candidate_pattern_sets
 __all__ = ["kratt_ol_attack", "kratt_og_attack"]
 
 
-def _removal_and_qbf(circuit, key_inputs, qbf_time_limit):
+def _removal_and_qbf(circuit, key_inputs, qbf_deadline):
     extraction = extract_unit(circuit, key_inputs)
-    outcome = qbf_key_search(extraction, time_limit=qbf_time_limit)
+    outcome = qbf_key_search(extraction, time_limit=qbf_deadline)
     return extraction, outcome
 
 
-def _qbf_success_result(attack, circuit, technique, extraction, outcome, start,
-                        time_limit=None):
+def _qbf_success_result(attack, circuit, technique, extraction, outcome,
+                        deadline, start):
     key = dict(outcome.key)
     # Key inputs that never entered the unit (should not happen for
     # single-unit locks) default to 0.
@@ -48,8 +54,8 @@ def _qbf_success_result(attack, circuit, technique, extraction, outcome, start,
         circuit=circuit.name,
         key=key,
         success=True,
-        elapsed=time.monotonic() - start,
-        time_limit=time_limit,
+        elapsed=deadline.now() - start,
+        time_limit=deadline.limit,
         iterations=outcome.iterations,
         details={
             "method": "qbf",
@@ -66,32 +72,44 @@ def kratt_ol_attack(
     qbf_time_limit=5.0,
     scope_kwargs=None,
     technique="?",
+    time_limit=None,
 ):
     """KRATT under the oracle-less threat model (paper steps 1-5).
+
+    ``time_limit`` bounds the whole attack (QBF *and* the SCOPE stages,
+    which can dominate runtime on the ambiguous/DFLT paths); every
+    returned :class:`AttackResult` carries ``time_limit``/``timed_out``
+    computed from that one deadline.
 
     Returns an :class:`AttackResult`; ``result.key`` maps every key input
     to True/False/None (None = undeciphered).  ``details["method"]`` is
     ``"qbf"`` when the removal+QBF stage already produced the key.
     """
-    start = time.monotonic()
+    deadline = Deadline.of(time_limit)
+    start = deadline.now()
     scope_kwargs = dict(scope_kwargs or {})
+    # The overall deadline bounds SCOPE unless the caller pinned its own.
+    scope_kwargs.setdefault("time_limit", deadline)
 
     try:
-        extraction, outcome = _removal_and_qbf(circuit, key_inputs, qbf_time_limit)
+        extraction, outcome = _removal_and_qbf(
+            circuit, key_inputs, deadline.sub(qbf_time_limit)
+        )
     except ValueError as exc:
         return AttackResult(
             attack="kratt-ol",
             technique=technique,
             circuit=circuit.name,
             success=False,
-            elapsed=time.monotonic() - start,
+            timed_out=deadline.expired(),
+            elapsed=deadline.now() - start,
+            time_limit=deadline.limit,
             details={"error": str(exc)},
         )
 
     if outcome.status == "key":
         return _qbf_success_result(
-            "kratt-ol", circuit, technique, extraction, outcome, start,
-            time_limit=qbf_time_limit,
+            "kratt-ol", circuit, technique, extraction, outcome, deadline, start
         )
 
     if outcome.status == "ambiguous":
@@ -112,11 +130,14 @@ def kratt_ol_attack(
             circuit=circuit.name,
             key=key,
             success=deciphered == len(key),
-            elapsed=time.monotonic() - start,
+            timed_out=scope.timed_out or deadline.expired(),
+            elapsed=deadline.now() - start,
+            time_limit=deadline.limit,
             details={
                 "method": "modified-unit-scope",
                 "complementary": False,
                 "scope_elapsed": scope.elapsed,
+                "scope_timed_out": scope.timed_out,
                 "critical_signal": extraction.critical_signal,
             },
         )
@@ -136,12 +157,16 @@ def kratt_ol_attack(
         circuit=circuit.name,
         key=key,
         success=deciphered > 0,
-        elapsed=time.monotonic() - start,
+        timed_out=scope.timed_out or deadline.expired(),
+        elapsed=deadline.now() - start,
+        time_limit=deadline.limit,
         details={
             "method": "subcircuit-scope",
             "classification": classification.kind,
             "h": classification.h,
             "scope_elapsed": scope.elapsed,
+            "scope_timed_out": scope.timed_out,
+            "qbf_out_of_time": outcome.out_of_time,
             "critical_signal": extraction.critical_signal,
         },
     )
@@ -156,26 +181,36 @@ def kratt_og_attack(
     time_limit=None,
     technique="?",
 ):
-    """KRATT under the oracle-guided threat model (paper steps 1-3, 6-7)."""
-    start = time.monotonic()
+    """KRATT under the oracle-guided threat model (paper steps 1-3, 6-7).
+
+    ``time_limit`` is the overall attack budget (float seconds or a
+    shared :class:`repro.budget.Deadline`): the QBF step runs under
+    ``min(time_limit, qbf_time_limit)`` and the exhaustive search under
+    whatever remains.
+    """
+    deadline = Deadline.of(time_limit)
+    start = deadline.now()
     queries_before = oracle.query_count
 
     try:
-        extraction, outcome = _removal_and_qbf(circuit, key_inputs, qbf_time_limit)
+        extraction, outcome = _removal_and_qbf(
+            circuit, key_inputs, deadline.sub(qbf_time_limit)
+        )
     except ValueError as exc:
         return AttackResult(
             attack="kratt-og",
             technique=technique,
             circuit=circuit.name,
             success=False,
-            elapsed=time.monotonic() - start,
+            timed_out=deadline.expired(),
+            elapsed=deadline.now() - start,
+            time_limit=deadline.limit,
             details={"error": str(exc)},
         )
 
     if outcome.status == "key":
         return _qbf_success_result(
-            "kratt-og", circuit, technique, extraction, outcome, start,
-            time_limit=qbf_time_limit,
+            "kratt-og", circuit, technique, extraction, outcome, deadline, start
         )
 
     # With an oracle even an ambiguous QBF witness can be validated, but
@@ -204,7 +239,7 @@ def kratt_og_attack(
         key_inputs=key_inputs,
         h=classification.h or 0,
         pattern_budget=pattern_budget,
-        time_limit=time_limit,
+        time_limit=deadline,
     )
     return AttackResult(
         attack="kratt-og",
@@ -212,9 +247,10 @@ def kratt_og_attack(
         circuit=circuit.name,
         key=search.key or {},
         success=search.success,
-        timed_out=search.exhausted_budget and not search.success,
-        elapsed=time.monotonic() - start,
-        time_limit=time_limit,
+        timed_out=(search.exhausted_budget or deadline.expired())
+        and not search.success,
+        elapsed=deadline.now() - start,
+        time_limit=deadline.limit,
         oracle_queries=oracle.query_count - queries_before,
         details={
             "method": "og-structural",
@@ -223,6 +259,7 @@ def kratt_og_attack(
             "patterns_tested": search.patterns_tested,
             "protected_patterns": len(search.protected_patterns),
             "candidate_sets": len(candidates),
+            "qbf_out_of_time": outcome.out_of_time,
             "critical_signal": extraction.critical_signal,
         },
     )

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ...budget import Deadline
 from ...netlist.circuit import Circuit
 from ...netlist.gate import GateType
 from ...netlist.verify import prove_signal_constant
@@ -40,8 +41,13 @@ class QbfAttackOutcome:
 
     ``status`` is one of ``"key"`` (witness accepted as the secret key),
     ``"ambiguous"`` (witness found but the unit is non-complementary, so
-    it cannot be certified), or ``"unsat"`` (no constant-making key — the
-    unit is a DFLT restore unit or the solver hit its limit).
+    it cannot be certified), or ``"unsat"`` (no constant-making key —
+    the unit is a DFLT restore unit or the solver hit its limit).
+    ``out_of_time`` distinguishes the two ``"unsat"`` causes: True means
+    at least one polarity ran out of budget rather than being refuted,
+    so "no key" is a timeout verdict, not a proof (the paper proceeds to
+    structural analysis in both cases; downstream reporting should not
+    read it as proven non-constant).
     """
 
     status: str
@@ -50,6 +56,7 @@ class QbfAttackOutcome:
     iterations: int = 0
     elapsed: float = 0.0
     complementary: bool = None
+    out_of_time: bool = False
 
 
 def qbf_key_search(extraction, time_limit=10.0, max_iterations=50_000):
@@ -58,7 +65,13 @@ def qbf_key_search(extraction, time_limit=10.0, max_iterations=50_000):
     Returns a :class:`QbfAttackOutcome`.  The witness (if any) is checked
     for certifiability via :func:`tied_unit_is_constant` whenever the
     unit pairs two key inputs per PPI.
+
+    ``time_limit`` (float seconds or a shared
+    :class:`repro.budget.Deadline`) bounds *both* polarities together —
+    a deadline spent by the first solve makes the second return
+    immediately instead of receiving a fresh grace slice.
     """
+    deadline = Deadline.of(time_limit)
     unit = extraction.unit
     cs1 = extraction.critical_signal
     keys = list(extraction.key_inputs)
@@ -66,21 +79,23 @@ def qbf_key_search(extraction, time_limit=10.0, max_iterations=50_000):
 
     elapsed = 0.0
     iterations = 0
+    out_of_time = False
     for value in (0, 1):
-        budget = max(0.1, time_limit - elapsed) if time_limit else None
         result = solve_exists_forall_circuit(
             unit, keys, ppis, cs1, value,
             max_iterations=max_iterations,
-            time_limit=budget,
+            time_limit=deadline,
         )
         elapsed += result.elapsed
         iterations += result.iterations
+        if result.status is None:
+            out_of_time = True
         if result.status is not True:
             continue
 
         complementary = None
         if extraction.keys_per_ppi >= 2:
-            complementary = tied_unit_is_constant(extraction)
+            complementary = tied_unit_is_constant(extraction, time_limit=deadline)
             if not complementary:
                 return QbfAttackOutcome(
                     status="ambiguous",
@@ -99,7 +114,8 @@ def qbf_key_search(extraction, time_limit=10.0, max_iterations=50_000):
             complementary=complementary,
         )
     return QbfAttackOutcome(
-        status="unsat", iterations=iterations, elapsed=elapsed
+        status="unsat", iterations=iterations, elapsed=elapsed,
+        out_of_time=out_of_time,
     )
 
 
@@ -130,18 +146,19 @@ def _tie_key_pairs(extraction):
     return tied
 
 
-def tied_unit_is_constant(extraction, max_conflicts=50_000):
+def tied_unit_is_constant(extraction, max_conflicts=50_000, time_limit=None):
     """Certify complementarity: is the key-tied unit a constant?
 
     Returns True (complementary — Anti-SAT/CAS-Lock family), False
     (non-complementary — Gen-Anti-SAT family), or None if undecided
-    within budget.
+    within budget (conflict cap or ``time_limit``, which accepts float
+    seconds or a shared :class:`repro.budget.Deadline`).
     """
     tied = _tie_key_pairs(extraction)
     cs1 = extraction.critical_signal
     for value in (0, 1):
         verdict, _ = prove_signal_constant(
-            tied, cs1, value, max_conflicts=max_conflicts
+            tied, cs1, value, max_conflicts=max_conflicts, time_limit=time_limit
         )
         if verdict is True:
             return True

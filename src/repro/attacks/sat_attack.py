@@ -12,8 +12,7 @@ constant number of keys, so the loop needs exponentially many iterations
 
 from __future__ import annotations
 
-import time
-
+from ..budget import Deadline
 from .dip import DipEngine
 from .metrics import AttackResult
 
@@ -39,64 +38,50 @@ def sat_attack(
     oracle:
         :class:`~repro.attacks.oracle.Oracle` over the functional IC.
     time_limit:
-        Wall-clock budget in seconds; exceeding it reports a time-out,
-        reproducing the paper's OoT entries at laptop scale.
+        Wall-clock budget — float seconds or a shared
+        :class:`repro.budget.Deadline`; exceeding it reports a time-out,
+        reproducing the paper's OoT entries at laptop scale.  The same
+        deadline bounds every solver call, so ``timed_out`` and
+        ``elapsed`` come from one clock.
 
     Returns an :class:`AttackResult`; ``result.key`` is complete on
     success.
     """
-    start = time.monotonic()
+    deadline = Deadline.of(time_limit)
+    start = deadline.now()
     engine = DipEngine(circuit, key_inputs)
     iterations = 0
     queries_before = oracle.query_count
 
-    def remaining():
-        return None if time_limit is None else time_limit - (time.monotonic() - start)
+    def timed_out_result(reason=None):
+        details = {"reason": reason} if reason else {}
+        return AttackResult(
+            attack="sat",
+            technique=technique,
+            circuit=circuit.name,
+            timed_out=True,
+            iterations=iterations,
+            elapsed=deadline.now() - start,
+            time_limit=deadline.limit,
+            oracle_queries=oracle.query_count - queries_before,
+            details=details,
+        )
 
     while True:
-        budget = remaining()
-        if budget is not None and budget <= 0:
-            return AttackResult(
-                attack="sat",
-                technique=technique,
-                circuit=circuit.name,
-                timed_out=True,
-                iterations=iterations,
-                elapsed=time.monotonic() - start,
-                time_limit=time_limit,
-                oracle_queries=oracle.query_count - queries_before,
-            )
+        if deadline.expired():
+            return timed_out_result()
         if max_iterations is not None and iterations >= max_iterations:
-            return AttackResult(
-                attack="sat",
-                technique=technique,
-                circuit=circuit.name,
-                timed_out=True,
-                iterations=iterations,
-                elapsed=time.monotonic() - start,
-                time_limit=time_limit,
-                oracle_queries=oracle.query_count - queries_before,
-                details={"reason": "iteration limit"},
-            )
-        status, x = engine.find_dip(time_limit=budget)
+            return timed_out_result("iteration limit")
+        status, x = engine.find_dip(time_limit=deadline)
         if status is None:
-            return AttackResult(
-                attack="sat",
-                technique=technique,
-                circuit=circuit.name,
-                timed_out=True,
-                iterations=iterations,
-                elapsed=time.monotonic() - start,
-                time_limit=time_limit,
-                oracle_queries=oracle.query_count - queries_before,
-            )
+            return timed_out_result()
         if status is False:
             break
         iterations += 1
         y = oracle.query(x)
         engine.add_io_constraint(x, y)
 
-    key = engine.extract_key(time_limit=remaining())
+    key = engine.extract_key(time_limit=deadline)
     return AttackResult(
         attack="sat",
         technique=technique,
@@ -105,7 +90,7 @@ def sat_attack(
         success=key is not None,
         timed_out=key is None,
         iterations=iterations,
-        elapsed=time.monotonic() - start,
-        time_limit=time_limit,
+        elapsed=deadline.now() - start,
+        time_limit=deadline.limit,
         oracle_queries=oracle.query_count - queries_before,
     )

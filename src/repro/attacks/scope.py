@@ -27,9 +27,9 @@ constant-propagation and redundancy-removal stages do.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from ..budget import Deadline
 from ..netlist.cone import transitive_fanout
 from ..synth.constprop import circuit_features, dead_code_eliminate, propagate_constants
 from ..synth.sweep import implication_simplify, simulation_observations
@@ -39,12 +39,18 @@ __all__ = ["ScopeResult", "scope_attack"]
 
 @dataclass
 class ScopeResult:
-    """Per-key guesses plus the features that drove each decision."""
+    """Per-key guesses plus the features that drove each decision.
+
+    ``timed_out`` marks a run whose deadline expired mid-sweep: the keys
+    not reached by then are reported undeciphered (``None``), never
+    guessed from partial features.
+    """
 
     guesses: dict
     features: dict = field(default_factory=dict)
     elapsed: float = 0.0
     rule: str = "preserve"
+    timed_out: bool = False
 
     @property
     def deciphered(self):
@@ -59,7 +65,7 @@ class ScopeResult:
 
 def _pinned_features(
     circuit, key, value, use_implications, window, max_conflicts, max_checks,
-    power_patterns,
+    power_patterns, deadline,
 ):
     region = transitive_fanout(circuit, [key], include_sources=False)
     pinned, _ = propagate_constants(circuit, {key: bool(value)})
@@ -78,6 +84,7 @@ def _pinned_features(
                 max_conflicts=max_conflicts,
                 max_checks=max_checks,
                 observations=observations,
+                time_limit=deadline,
             )
     return circuit_features(pinned, power_patterns=power_patterns)
 
@@ -92,6 +99,7 @@ def scope_attack(
     max_conflicts=4000,
     max_checks=24,
     power_patterns=32,
+    time_limit=None,
 ):
     """Run SCOPE over a locked netlist (or extracted unit).
 
@@ -106,15 +114,27 @@ def scope_attack(
     area_threshold:
         Minimum area asymmetry (in gates) required to commit to a guess;
         smaller differences leave the bit undeciphered.
+    time_limit:
+        Wall-clock budget (float seconds or a shared
+        :class:`repro.budget.Deadline`).  The per-key sweep stops once it
+        expires; unreached keys stay undeciphered and ``timed_out`` is
+        set on the result.
 
     Returns a :class:`ScopeResult`; undeciphered bits map to ``None``.
     """
     if rule not in ("preserve", "collapse"):
         raise ValueError(f"unknown SCOPE rule {rule!r}")
-    start = time.monotonic()
+    deadline = Deadline.of(time_limit)
+    start = deadline.now()
     guesses = {}
     features = {}
+    timed_out = False
     for key in key_inputs:
+        if not timed_out and deadline.expired():
+            timed_out = True
+        if timed_out:
+            guesses[key] = None
+            continue
         if key not in circuit:
             guesses[key] = None
             continue
@@ -129,7 +149,15 @@ def scope_attack(
                 max_conflicts,
                 max_checks,
                 power_patterns,
+                deadline,
             )
+        if deadline.expired():
+            # The deadline landed inside this key's 0-vs-1 sweep pair:
+            # the two sides got unequal probing effort, so an area
+            # comparison would be skewed — leave the bit undeciphered.
+            timed_out = True
+            guesses[key] = None
+            continue
         features[key] = feats
         area_delta = feats[0].area - feats[1].area
         if abs(area_delta) < area_threshold:
@@ -143,6 +171,7 @@ def scope_attack(
     return ScopeResult(
         guesses=guesses,
         features=features,
-        elapsed=time.monotonic() - start,
+        elapsed=deadline.now() - start,
         rule=rule,
+        timed_out=timed_out,
     )

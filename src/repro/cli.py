@@ -69,14 +69,19 @@ def _cmd_attack(args):
     if args.oracle:
         oracle = Oracle(parse_bench_file(args.oracle))
         result = kratt_og_attack(
-            locked, keys, oracle, qbf_time_limit=args.qbf_limit
+            locked, keys, oracle, qbf_time_limit=args.qbf_limit,
+            time_limit=args.time_limit,
         )
     else:
-        result = kratt_ol_attack(locked, keys, qbf_time_limit=args.qbf_limit)
+        result = kratt_ol_attack(
+            locked, keys, qbf_time_limit=args.qbf_limit,
+            time_limit=args.time_limit,
+        )
     summary = {
         "attack": result.attack,
         "method": result.details.get("method"),
         "success": result.success,
+        "timed_out": result.timed_out,
         "elapsed": round(result.elapsed, 3),
         "deciphered": sum(1 for v in result.key.values() if v is not None),
         "key_width": len(keys),
@@ -153,6 +158,10 @@ def _campaign_grid_args(args):
         options["qbf_time_limit"] = args.qbf_limit
     if args.baseline_limit is not None:
         options["baseline_time_limit"] = args.baseline_limit
+    if args.ol_limit is not None:
+        options["ol_time_limit"] = args.ol_limit
+    if args.og_limit is not None:
+        options["og_time_limit"] = args.og_limit
     return args.artifacts, options
 
 
@@ -241,6 +250,9 @@ def _cmd_campaign_status(args):
     for artifact, counts in status["artifacts"].items():
         print(f"{artifact}: {counts['done']}/{counts['total']} done")
     print(f"total: {status['done']}/{status['total']} done")
+    if status["timeouts"]:
+        print(f"timed out: {', '.join(status['timeouts'][:8])}"
+              + (" ..." if len(status["timeouts"]) > 8 else ""))
     if status["pending"]:
         print(f"pending: {', '.join(status['pending'][:8])}"
               + (" ..." if len(status["pending"]) > 8 else ""))
@@ -282,6 +294,8 @@ def build_parser():
     p.add_argument("--key-prefix", default="keyinput")
     p.add_argument("--key-out")
     p.add_argument("--qbf-limit", type=float, default=5.0)
+    p.add_argument("--time-limit", type=float, default=None,
+                   help="overall attack wall-clock budget (s)")
     p.set_defaults(func=_cmd_attack)
 
     p = sub.add_parser("removal", help="removal attack / reconstruction")
@@ -322,10 +336,16 @@ def build_parser():
     c.add_argument("--qbf-limit", type=float, help="QBF stage budget (s)")
     c.add_argument("--baseline-limit", type=float,
                    help="baseline-attack budget (s)")
+    c.add_argument("--ol-limit", type=float,
+                   help="overall KRATT-OL attack budget per cell (s)")
+    c.add_argument("--og-limit", type=float,
+                   help="overall KRATT-OG attack budget per cell (s)")
     c.add_argument("--workers", type=int,
                    help="worker processes (<=1 runs in-process)")
     c.add_argument("--cell-timeout", type=float,
-                   help="flag cells slower than this many seconds")
+                   help="HARD per-cell wall-clock limit (s): cells run in "
+                        "killable processes and overruns are terminated and "
+                        "recorded as status=timeout")
     c.add_argument("--limit", type=int,
                    help="run at most N pending cells, then stop")
     c.add_argument("--fresh", action="store_true",

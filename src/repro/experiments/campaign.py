@@ -15,7 +15,14 @@ orchestrator:
   resumes by running only the missing cells;
 * aggregates the completed grid back into the paper-style tables through
   the same ``aggregate`` functions the serial row builders use — the
-  parallel path is bit-identical to the serial one by construction.
+  parallel path is bit-identical to the serial one by construction;
+* enforces ``cell_timeout`` as a **hard** limit: with a timeout set,
+  every cell runs in its own killable worker process, a cell exceeding
+  the budget is terminated (SIGTERM, then SIGKILL) and persisted as a
+  ``status="timeout"`` record, and resume treats that record as
+  completed-with-timeout instead of retrying the pathological cell
+  forever.  Timed-out cells are excluded from aggregation, so the
+  remaining rows still match the serial path bit-for-bit.
 
 The on-disk layout of a campaign ``<name>``::
 
@@ -67,6 +74,34 @@ DEFAULT_RESULTS_ROOT = os.path.join(
 
 Artifact = namedtuple("Artifact", ["name", "title", "expand", "cell", "aggregate"])
 
+
+# -- selftest: campaign-plumbing diagnostic cells ----------------------
+# A grid of trivially cheap cells that can be made arbitrarily slow via
+# options, used by the timeout-enforcement tests and the CI smoke job to
+# exercise hard kill-on-timeout without dragging real attacks in.
+
+_SELFTEST_HEADER = ("cell", "slept(s)")
+
+
+def _selftest_expand(options):
+    return [{"cell": i} for i in range(int((options or {}).get("cells", 2)))]
+
+
+def _selftest_cell(cell, options):
+    options = options or {}
+    sleep_s = float(options.get("sleep_s", 0.0))
+    slow = options.get("slow_cells")
+    if slow is not None and cell["cell"] not in set(slow):
+        sleep_s = 0.0
+    if sleep_s:
+        time.sleep(sleep_s)
+    return {"row": [cell["cell"], f"{sleep_s:.2f}"]}
+
+
+def _selftest_aggregate(results, options):
+    return _SELFTEST_HEADER, [tuple(r["row"]) for r in results]
+
+
 #: Registry of runnable artifacts; every entry reuses the exact cell
 #: functions behind the serial ``tableN_rows`` builders.
 ARTIFACTS = {
@@ -98,6 +133,10 @@ ARTIFACTS = {
         "valkyrie", "Valkyrie-style census",
         tables.valkyrie_expand, tables.valkyrie_cell, tables.valkyrie_aggregate,
     ),
+    "selftest": Artifact(
+        "selftest", "Campaign self-test cells (timeout smoke)",
+        _selftest_expand, _selftest_cell, _selftest_aggregate,
+    ),
 }
 
 
@@ -111,8 +150,14 @@ class CampaignSpec:
 
     ``options`` feeds every artifact's expand/cell/aggregate functions;
     recognised keys include ``scale``, ``circuits``, ``techniques``,
-    ``synth_seeds``, ``variants``, ``qbf_time_limit`` and
-    ``baseline_time_limit`` (artifacts ignore keys they do not use).
+    ``synth_seeds``, ``variants``, ``qbf_time_limit``,
+    ``baseline_time_limit``, ``ol_time_limit`` and ``og_time_limit``
+    (artifacts ignore keys they do not use).
+
+    ``cell_timeout`` (seconds) is a *hard* per-cell wall-clock limit:
+    cells run in killable worker processes and are terminated and
+    recorded as ``status="timeout"`` once it elapses.  ``None`` keeps
+    the soft accounting-free behaviour.
     """
 
     name: str
@@ -211,6 +256,7 @@ class CampaignResult:
     errors: list
     elapsed: float
     tables: dict = None  # artifact -> (header, rows); None while incomplete
+    timeouts: list = field(default_factory=list)  # cell ids killed on timeout
 
     @property
     def complete(self):
@@ -231,6 +277,12 @@ class CampaignResult:
                 f"campaign {self.spec.name!r}: {len(self.errors)} cells "
                 f"failed:\n{details}"
             )
+        if self.timeouts:
+            raise CampaignError(
+                f"campaign {self.spec.name!r}: {len(self.timeouts)} cells "
+                f"were killed on cell_timeout ({self.timeouts[:5]}); the "
+                "aggregate is not serial-identical"
+            )
         if not self.complete:
             raise CampaignError(
                 f"campaign {self.spec.name!r} is incomplete "
@@ -243,7 +295,7 @@ class CampaignResult:
         return (
             f"campaign {self.spec.name}: {state}, cells total={self.total} "
             f"ran={self.ran} skipped={self.skipped} errors={len(self.errors)} "
-            f"({self.elapsed:.1f}s)"
+            f"timeouts={len(self.timeouts)} ({self.elapsed:.1f}s)"
         )
 
 
@@ -285,14 +337,20 @@ def _load_cell_record(path):
 
     A campaign killed mid-write leaves either no file (writes are atomic
     renames) or, on exotic filesystems, a truncated one — both read as
-    "cell not done", so resume recomputes them.
+    "cell not done", so resume recomputes them.  ``status="timeout"``
+    records count as finished: a cell killed at ``cell_timeout`` is
+    completed-with-timeout, not pending — rerunning it would stall every
+    resume pass on the same pathological cell.
     """
     try:
         with open(path) as handle:
             record = json.load(handle)
     except (OSError, ValueError):
         return None
-    if record.get("status") != "ok" or "result" not in record:
+    status = record.get("status")
+    if status == "timeout":
+        return record
+    if status != "ok" or "result" not in record:
         return None
     return record
 
@@ -322,6 +380,148 @@ def _pool_context(spec):
         return multiprocessing.get_context(spec.mp_context)
     methods = multiprocessing.get_all_start_methods()
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+#: Sentinel the cell worker sends the moment it starts executing the
+#: payload, so the parent bills ``cell_timeout`` against cell work, not
+#: process bootstrap (interpreter start + imports under spawn contexts).
+_CELL_STARTED = "__cell_started__"
+
+#: Extra allowance for process bootstrap before the started sentinel
+#: arrives; a child hung in imports is still killed, just not a healthy
+#: spawn-context worker that spent seconds booting.
+_BOOT_GRACE_S = 30.0
+
+
+def _run_cell_child(payload, conn):
+    """Per-cell worker-process entry point: run the cell, pipe the record."""
+    conn.send(_CELL_STARTED)
+    record = _run_cell_payload(payload)
+    conn.send(record)
+    conn.close()
+
+
+def _kill_process(proc):
+    """Terminate a cell worker, escalating to SIGKILL if it lingers."""
+    proc.terminate()
+    proc.join(1.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(1.0)
+
+
+#: Poll interval of the hard-timeout scheduler; bounds how far past
+#: ``cell_timeout`` a kill can land (well inside the ~2x-timeout budget
+#: the tests assert).
+_WATCHDOG_POLL_S = 0.02
+
+
+def _run_cells_hard_timeout(spec, todo, payloads, finish):
+    """Run cells in killable per-cell processes, enforcing ``cell_timeout``.
+
+    Unlike the pool path, each cell gets its own process and pipe: a cell
+    overrunning the budget is killed (terminate, then kill) without
+    poisoning any shared queue, and the parent writes a
+    ``status="timeout"`` record in its place so the shard keeps moving.
+    Up to ``spec.workers`` cells run concurrently (``<= 1`` serializes
+    them, still isolated so the kill semantics hold).
+
+    Trade-off: per-cell processes start with a cold per-process
+    :class:`~repro.experiments.harness.PrepCache`, so campaigns opting
+    into ``cell_timeout`` repay each cell's preparation instead of
+    amortizing it across a long-lived pool worker.  That is the price of
+    a kill that cannot corrupt shared state; cross-campaign prep sharing
+    is the ROADMAP's answer for getting the amortization back.
+    """
+    ctx = _pool_context(spec)
+    limit = spec.cell_timeout
+    workers = max(1, spec.workers or 1)
+    pending = list(zip(todo, payloads))
+    pending.reverse()  # pop() from the tail preserves expansion order
+    active = []  # [proc, conn, cell, started_at, booted]
+
+    def drain(conn):
+        if not conn.poll(0):
+            return None
+        try:
+            return conn.recv()
+        except EOFError:
+            return None
+
+    def reap(entry):
+        """Harvest one active slot; returns False while still running."""
+        proc, conn, cell, started, booted = entry
+        record = drain(conn)
+        if record == _CELL_STARTED:
+            # Payload execution begins now: restart the budget clock so
+            # bootstrap (interpreter + imports under spawn) is not billed.
+            started = entry[3] = time.monotonic()
+            booted = entry[4] = True
+            record = drain(conn)
+        if record is None and proc.is_alive():
+            allowance = limit if booted else limit + _BOOT_GRACE_S
+            if time.monotonic() - started <= allowance:
+                return False
+            _kill_process(proc)
+            # A cell that finished in the kill window still gets its
+            # real record (finish() marks it timed_out by elapsed).
+            record = drain(conn) or {
+                "artifact": cell.artifact,
+                "params": cell.params,
+                "status": "timeout",
+                "result": None,
+                "error": None,
+                "elapsed": time.monotonic() - started,
+                "pid": proc.pid,
+                "timed_out": True,
+                "cell_timeout": limit,
+            }
+        elif record is None:
+            # Exited without sending: give an in-flight record one
+            # last chance to drain, else report the crash below.
+            if conn.poll(0.5):
+                record = drain(conn)
+        proc.join(5.0)
+        if proc.is_alive():
+            _kill_process(proc)
+        conn.close()
+        if record is None:
+            record = {
+                "artifact": cell.artifact,
+                "params": cell.params,
+                "status": "error",
+                "result": None,
+                "error": (
+                    f"cell worker died without a result "
+                    f"(exitcode {proc.exitcode})"
+                ),
+                "elapsed": time.monotonic() - started,
+                "pid": proc.pid,
+            }
+        finish(cell, record)
+        return True
+
+    try:
+        while pending or active:
+            while pending and len(active) < workers:
+                cell, payload = pending.pop()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_run_cell_child, args=(payload, child_conn)
+                )
+                proc.daemon = True
+                proc.start()
+                child_conn.close()
+                active.append(
+                    [proc, parent_conn, cell, time.monotonic(), False]
+                )
+            active = [entry for entry in active if not reap(entry)]
+            if active:
+                time.sleep(_WATCHDOG_POLL_S)
+    finally:
+        for proc, conn, _cell, _started, _booted in active:
+            _kill_process(proc)
+            conn.close()
 
 
 def run_campaign(spec, resume=True, fresh=False, limit=None, progress=None):
@@ -378,12 +578,18 @@ def run_campaign(spec, resume=True, fresh=False, limit=None, progress=None):
         todo = todo[:limit]
 
     errors = []
+    timeouts = []
 
     def finish(cell, record):
         record["cell_id"] = cell.cell_id
         if spec.cell_timeout is not None:
-            record["timed_out"] = record["elapsed"] > spec.cell_timeout
-        if record["status"] == "ok":
+            record["timed_out"] = (
+                record["status"] == "timeout"
+                or record["elapsed"] > spec.cell_timeout
+            )
+        if record["status"] == "timeout":
+            timeouts.append(cell.cell_id)
+        if record["status"] in ("ok", "timeout"):
             _atomic_write_json(
                 os.path.join(spec.cells_dir, f"{cell.cell_id}.json"), record
             )
@@ -396,7 +602,10 @@ def run_campaign(spec, resume=True, fresh=False, limit=None, progress=None):
             )
 
     payloads = [(c.artifact, c.params, spec.options) for c in todo]
-    if spec.workers and spec.workers > 1 and len(todo) > 1:
+    if spec.cell_timeout is not None and todo:
+        # Hard limit: per-cell killable processes, regardless of workers.
+        _run_cells_hard_timeout(spec, todo, payloads, finish)
+    elif spec.workers and spec.workers > 1 and len(todo) > 1:
         ctx = _pool_context(spec)
         with ctx.Pool(processes=min(spec.workers, len(todo))) as pool:
             for cell, record in zip(
@@ -414,6 +623,7 @@ def run_campaign(spec, resume=True, fresh=False, limit=None, progress=None):
         skipped=skipped,
         errors=errors,
         elapsed=time.monotonic() - start,
+        timeouts=timeouts,
     )
     if not errors and result.ran + result.skipped == result.total:
         result.tables = aggregate_campaign(spec, cells=cells)
@@ -431,11 +641,15 @@ def campaign_status(name=None, results_root=None, spec=None):
     cells = expand_cells(spec)
     per_artifact = {a: {"done": 0, "total": 0} for a in spec.artifacts}
     pending = []
+    timeouts = []
     for cell in cells:
         per_artifact[cell.artifact]["total"] += 1
         path = os.path.join(spec.cells_dir, f"{cell.cell_id}.json")
-        if _load_cell_record(path) is not None:
+        record = _load_cell_record(path)
+        if record is not None:
             per_artifact[cell.artifact]["done"] += 1
+            if record.get("status") == "timeout":
+                timeouts.append(cell.cell_id)
         else:
             pending.append(cell.cell_id)
     return {
@@ -445,6 +659,7 @@ def campaign_status(name=None, results_root=None, spec=None):
         "done": len(cells) - len(pending),
         "total": len(cells),
         "pending": pending,
+        "timeouts": timeouts,
     }
 
 
@@ -452,19 +667,25 @@ def aggregate_campaign(spec, cells=None):
     """Fold every persisted cell into ``{artifact: (header, rows)}``.
 
     Raises :class:`CampaignError` when records are missing — aggregation
-    of a partial campaign would silently drop rows.
+    of a partial campaign would silently drop rows.  ``status="timeout"``
+    records count as completed but contribute no row: the surviving rows
+    are exactly what the serial path produces for the non-timed-out
+    cells.
     """
     if cells is None:
         cells = expand_cells(spec)
     by_artifact = {}
     missing = []
     for cell in cells:
+        by_artifact.setdefault(cell.artifact, [])
         path = os.path.join(spec.cells_dir, f"{cell.cell_id}.json")
         record = _load_cell_record(path)
         if record is None:
             missing.append(cell.cell_id)
             continue
-        by_artifact.setdefault(cell.artifact, []).append(record["result"])
+        if record.get("status") == "timeout":
+            continue
+        by_artifact[cell.artifact].append(record["result"])
     if missing:
         raise CampaignError(
             f"campaign {spec.name!r} is incomplete: {len(missing)} cells "

@@ -62,6 +62,13 @@ HELLO_CIRCUITS = ("final_v1", "final_v2", "final_v3")
 
 _SCOPE_FAST = {"use_implications": False, "power_patterns": 16}
 
+#: Default overall wall-clock budget (seconds) for one KRATT run inside a
+#: table cell — the scaled stand-in for the paper's per-attack limits.
+#: Generous at reproduction scale (cells finish in seconds), but real:
+#: a pathological cell now reports OoT instead of stalling the table.
+DEFAULT_OL_TIME_LIMIT = 120.0
+DEFAULT_OG_TIME_LIMIT = 120.0
+
 
 def _opt(options, key, default):
     value = (options or {}).get(key)
@@ -143,11 +150,12 @@ def table2_cell(cell, options):
     circuit_name, technique = cell["circuit"], cell["technique"]
     scale = _opt(options, "scale", None)
     qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
+    ol_time_limit = _opt(options, "ol_time_limit", DEFAULT_OL_TIME_LIMIT)
     prep = prepare_locked(circuit_name, technique, scale=scale)
     with Timer() as t_scope:
         scope = scope_attack(
             prep.netlist, prep.locked.key_inputs, rule="preserve",
-            **_SCOPE_FAST,
+            time_limit=ol_time_limit, **_SCOPE_FAST,
         )
     scope_cell = _ol_cell(prep.locked, scope.guesses, t_scope.elapsed)
     with Timer() as t_kratt:
@@ -156,6 +164,7 @@ def table2_cell(cell, options):
             qbf_time_limit=qbf_time_limit,
             scope_kwargs=_SCOPE_FAST,
             technique=technique,
+            time_limit=ol_time_limit,
         )
     kratt_cell = _ol_cell(prep.locked, result.key, t_kratt.elapsed)
     return {
@@ -170,13 +179,14 @@ def table2_aggregate(results, options):
 
 
 def table2_rows(scale=None, circuits=TABLE1_CIRCUITS, techniques=TABLE2_TECHNIQUES,
-                qbf_time_limit=3.0):
+                qbf_time_limit=3.0, ol_time_limit=DEFAULT_OL_TIME_LIMIT):
     """Table II: OL attacks (SCOPE vs KRATT) on the ISCAS/ITC circuits."""
     return _serial_rows(table2_expand, table2_cell, table2_aggregate, {
         "scale": scale,
         "circuits": circuits,
         "techniques": techniques,
         "qbf_time_limit": qbf_time_limit,
+        "ol_time_limit": ol_time_limit,
     })
 
 
@@ -220,9 +230,10 @@ def table3_cell(cell, options):
     result = kratt_og_attack(
         prep.netlist, prep.locked.key_inputs, oracle,
         qbf_time_limit=qbf_time_limit, technique=technique,
+        time_limit=_opt(options, "og_time_limit", DEFAULT_OG_TIME_LIMIT),
     )
     score = score_key(prep.locked, result.key)
-    cells.append(f"{result.elapsed:.2f}")
+    cells.append("OoT" if result.timed_out else f"{result.elapsed:.2f}")
     return {
         "row": [circuit_name, technique, *cells,
                 "yes" if score.functional else "no"],
@@ -235,11 +246,13 @@ def table3_aggregate(results, options):
 
 
 def table3_rows(scale=None, circuits=TABLE1_CIRCUITS, techniques=TABLE2_TECHNIQUES,
-                baseline_time_limit=15.0, qbf_time_limit=3.0):
+                baseline_time_limit=15.0, qbf_time_limit=3.0,
+                og_time_limit=DEFAULT_OG_TIME_LIMIT):
     """Table III: OG attacks (SAT / DDIP / AppSAT / KRATT).
 
     ``baseline_time_limit`` is the scaled stand-in for the paper's 2-day
     limit; baselines hitting it report OoT, as in the paper.
+    ``og_time_limit`` bounds each KRATT-OG run the same way.
     """
     return _serial_rows(table3_expand, table3_cell, table3_aggregate, {
         "scale": scale,
@@ -247,6 +260,7 @@ def table3_rows(scale=None, circuits=TABLE1_CIRCUITS, techniques=TABLE2_TECHNIQU
         "techniques": techniques,
         "baseline_time_limit": baseline_time_limit,
         "qbf_time_limit": qbf_time_limit,
+        "og_time_limit": og_time_limit,
     })
 
 
@@ -269,11 +283,12 @@ def table4_cell(cell, options):
     circuit_name = cell["circuit"]
     scale = _opt(options, "scale", None)
     qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
+    ol_time_limit = _opt(options, "ol_time_limit", DEFAULT_OL_TIME_LIMIT)
     prep = prepare_locked(circuit_name, "genantisat", scale=scale)
     with Timer() as t_scope:
         scope = scope_attack(
             prep.netlist, prep.locked.key_inputs, rule="preserve",
-            **_SCOPE_FAST,
+            time_limit=ol_time_limit, **_SCOPE_FAST,
         )
     scope_cell = _ol_cell(prep.locked, scope.guesses, t_scope.elapsed)
     with Timer() as t_kratt:
@@ -281,6 +296,7 @@ def table4_cell(cell, options):
             prep.netlist, prep.locked.key_inputs,
             qbf_time_limit=qbf_time_limit, scope_kwargs=_SCOPE_FAST,
             technique="genantisat",
+            time_limit=ol_time_limit,
         )
     kratt_cell = _ol_cell(prep.locked, result.key, t_kratt.elapsed)
     return {
@@ -294,12 +310,14 @@ def table4_aggregate(results, options):
     return TABLE4_HEADER, [tuple(r["row"]) for r in results]
 
 
-def table4_rows(scale=None, circuits=TABLE4_CIRCUITS, qbf_time_limit=3.0):
+def table4_rows(scale=None, circuits=TABLE4_CIRCUITS, qbf_time_limit=3.0,
+                ol_time_limit=DEFAULT_OL_TIME_LIMIT):
     """Table IV: OL attacks on Gen-Anti-SAT locked ITC'99 circuits."""
     return _serial_rows(table4_expand, table4_cell, table4_aggregate, {
         "scale": scale,
         "circuits": circuits,
         "qbf_time_limit": qbf_time_limit,
+        "ol_time_limit": ol_time_limit,
     })
 
 
@@ -323,15 +341,17 @@ def table5_cell(cell, options):
     scale = resolve_scale(_opt(options, "scale", None))
     baseline_time_limit = _opt(options, "baseline_time_limit", 30.0)
     qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
+    ol_time_limit = _opt(options, "ol_time_limit", DEFAULT_OL_TIME_LIMIT)
     locked = hello_locked(name, scale=scale)
     netlist = resynthesize(locked.circuit, seed=1, effort=2)
     with Timer() as t_scope:
         scope = scope_attack(netlist, locked.key_inputs, rule="preserve",
-                             **_SCOPE_FAST)
+                             time_limit=ol_time_limit, **_SCOPE_FAST)
     scope_score = score_key(locked, scope.guesses)
     result_ol = kratt_ol_attack(
         netlist, locked.key_inputs, qbf_time_limit=qbf_time_limit,
         scope_kwargs=_SCOPE_FAST, technique="sfll_hd",
+        time_limit=ol_time_limit,
     )
     ol_score = score_key(locked, result_ol.key)
     oracle = Oracle(locked.original)
@@ -348,6 +368,7 @@ def table5_cell(cell, options):
     result_og = kratt_og_attack(
         netlist, locked.key_inputs, oracle,
         qbf_time_limit=qbf_time_limit, technique="sfll_hd",
+        time_limit=_opt(options, "og_time_limit", DEFAULT_OG_TIME_LIMIT),
     )
     og_score = score_key(locked, result_og.key)
     return {
@@ -372,12 +393,16 @@ def table5_aggregate(results, options):
     return TABLE5_HEADER, [tuple(r["row"]) for r in results]
 
 
-def table5_rows(scale=None, baseline_time_limit=30.0, qbf_time_limit=3.0):
+def table5_rows(scale=None, baseline_time_limit=30.0, qbf_time_limit=3.0,
+                ol_time_limit=DEFAULT_OL_TIME_LIMIT,
+                og_time_limit=DEFAULT_OG_TIME_LIMIT):
     """Table V: HeLLO: CTF'22 circuits — details plus OL and OG attacks."""
     return _serial_rows(table5_expand, table5_cell, table5_aggregate, {
         "scale": scale,
         "baseline_time_limit": baseline_time_limit,
         "qbf_time_limit": qbf_time_limit,
+        "ol_time_limit": ol_time_limit,
+        "og_time_limit": og_time_limit,
     })
 
 
@@ -413,6 +438,7 @@ def fig6_cell(cell, options):
         result = kratt_og_attack(
             netlist, prep.locked.key_inputs, oracle,
             qbf_time_limit=qbf_time_limit, technique=technique,
+            time_limit=_opt(options, "og_time_limit", DEFAULT_OG_TIME_LIMIT),
         )
     score = score_key(prep.locked, result.key)
     return {
@@ -443,7 +469,7 @@ def fig6_aggregate(results, options):
 
 
 def fig6_rows(scale=None, variants=10, techniques=TABLE2_TECHNIQUES,
-              qbf_time_limit=3.0):
+              qbf_time_limit=3.0, og_time_limit=DEFAULT_OG_TIME_LIMIT):
     """Fig. 6: impact of resynthesis on KRATT's run-time (c6288 hosts).
 
     Locks c6288 with each technique, produces ``variants`` functionally
@@ -456,6 +482,7 @@ def fig6_rows(scale=None, variants=10, techniques=TABLE2_TECHNIQUES,
         "variants": variants,
         "techniques": techniques,
         "qbf_time_limit": qbf_time_limit,
+        "og_time_limit": og_time_limit,
     })
 
 
@@ -493,12 +520,14 @@ def valkyrie_cell(cell, options):
             prep.netlist, prep.locked.key_inputs,
             qbf_time_limit=qbf_time_limit, scope_kwargs=_SCOPE_FAST,
             technique=technique,
+            time_limit=_opt(options, "ol_time_limit", DEFAULT_OL_TIME_LIMIT),
         )
     else:
         oracle = Oracle(prep.locked.original)
         result = kratt_og_attack(
             prep.netlist, prep.locked.key_inputs, oracle,
             qbf_time_limit=qbf_time_limit, technique=technique,
+            time_limit=_opt(options, "og_time_limit", DEFAULT_OG_TIME_LIMIT),
         )
     method = result.details.get("method", "-")
     score = score_key(prep.locked, result.key)
@@ -529,7 +558,9 @@ def valkyrie_aggregate(results, options):
 
 
 def valkyrie_rows(scale=None, synth_seeds=(1, 2), qbf_time_limit=3.0,
-                  circuits=VALKYRIE_CIRCUITS, key_widths=(None,)):
+                  circuits=VALKYRIE_CIRCUITS, key_widths=(None,),
+                  ol_time_limit=DEFAULT_OL_TIME_LIMIT,
+                  og_time_limit=DEFAULT_OG_TIME_LIMIT):
     """Valkyrie-repository-style census (Section IV, second experiment).
 
     Sweeps SFLTs and DFLTs over hosts and synthesis seeds; reports how
@@ -542,4 +573,6 @@ def valkyrie_rows(scale=None, synth_seeds=(1, 2), qbf_time_limit=3.0,
         "synth_seeds": synth_seeds,
         "qbf_time_limit": qbf_time_limit,
         "circuits": circuits,
+        "ol_time_limit": ol_time_limit,
+        "og_time_limit": og_time_limit,
     })

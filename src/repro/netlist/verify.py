@@ -7,6 +7,7 @@ and KRATT verifies recovered keys.
 
 from __future__ import annotations
 
+from ..budget import Deadline
 from .circuit import Circuit
 from .gate import GateType
 
@@ -99,8 +100,14 @@ def check_equivalent(
     assignment exposing the difference), or ``None`` (budget exhausted).
 
     ``assumptions`` optionally pins shared inputs (dict name -> bool), to
-    check equivalence under a fixed key, for example.
+    check equivalence under a fixed key, for example.  ``time_limit``
+    accepts float seconds or a shared :class:`repro.budget.Deadline`; an
+    already expired deadline returns ``(None, None)`` before the miter
+    is even built.
     """
+    deadline = Deadline.of(time_limit)
+    if deadline.expired():
+        return None, None
     Solver, encode_circuit = _sat_tools()
     miter = build_miter(circ_a, circ_b)
     solver = Solver()
@@ -115,7 +122,7 @@ def check_equivalent(
         assume_lits.append(var if value else -var)
 
     status = solver.solve(
-        assume_lits, max_conflicts=max_conflicts, time_limit=time_limit
+        assume_lits, max_conflicts=max_conflicts, time_limit=deadline
     )
     if status is False:
         return True, None
@@ -134,7 +141,11 @@ def prove_signal_constant(
     ``fixed_inputs`` pins some inputs (e.g. the key) while the rest range
     freely.  Returns ``(verdict, counterexample)`` like
     :func:`check_equivalent`: ``True`` means ``signal == value`` always.
+    ``time_limit`` accepts float seconds or a :class:`repro.budget.Deadline`.
     """
+    deadline = Deadline.of(time_limit)
+    if deadline.expired():
+        return None, None
     Solver, encode_circuit = _sat_tools()
     solver = Solver()
     cnf, varmap = encode_circuit(circuit)
@@ -149,7 +160,7 @@ def prove_signal_constant(
         assume_lits.append(var if val else -var)
 
     status = solver.solve(
-        assume_lits, max_conflicts=max_conflicts, time_limit=time_limit
+        assume_lits, max_conflicts=max_conflicts, time_limit=deadline
     )
     if status is False:
         return True, None

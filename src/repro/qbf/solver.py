@@ -21,8 +21,8 @@ for property tests against brute force.
 from __future__ import annotations
 
 import itertools
-import time
 
+from ..budget import Deadline
 from ..sat.solver import Solver
 from ..sat.tseitin import encode_into_solver
 from .formula import EXISTS, FORALL, QBF
@@ -102,8 +102,20 @@ def solve_exists_forall_circuit(
 
     Returns a :class:`QBFResult`; on success ``witness`` maps each
     existential input to its value.
+
+    ``time_limit`` accepts float seconds or a shared
+    :class:`repro.budget.Deadline`.  An expired budget returns
+    ``QBFResult(None, ...)`` immediately — no solver call is granted a
+    grace slice once the budget is spent.
     """
-    start = time.monotonic()
+    deadline = Deadline.of(time_limit)
+    start = deadline.now()
+
+    def out_of_budget(iterations):
+        return QBFResult(None, None, iterations, deadline.now() - start)
+
+    if deadline.expired():
+        return out_of_budget(0)
     exist_inputs = list(exist_inputs)
     forall_inputs = list(forall_inputs)
     missing = set(exist_inputs + forall_inputs) ^ set(circuit.inputs)
@@ -154,7 +166,8 @@ def solve_exists_forall_circuit(
     out_var = out_vars[output]
     verifier.add_clause([-out_var if target_value else out_var])
 
-    def verify_witness(key_guess, deadline):
+    def verify_witness(key_guess):
+        # The shared deadline (not a per-call duration) bounds the solve.
         assumptions = [
             all_vars[name] if key_guess[name] else -all_vars[name]
             for name in exist_inputs
@@ -184,45 +197,43 @@ def solve_exists_forall_circuit(
         if rv_ver is None:
             continue
         for value in (False, True):
-            if time_limit is not None and time.monotonic() - start > time_limit:
-                return QBFResult(None, None, iterations, time.monotonic() - start)
+            if deadline.expired():
+                return out_of_budget(iterations)
             status = verifier.solve(
-                [rv_ver if value else -rv_ver], max_conflicts=20_000
+                [rv_ver if value else -rv_ver],
+                max_conflicts=20_000,
+                time_limit=deadline,
             )
             if status is not False:
                 continue
             # r == value forces the output to target; find a key doing it.
             rv_cand = shared_candidate_vars[root]
-            status = candidate.solve([rv_cand if value else -rv_cand])
+            status = candidate.solve(
+                [rv_cand if value else -rv_cand], time_limit=deadline
+            )
             if status is not True:
                 continue
             model = candidate.model()
             key_guess = {
                 name: model.get(var, False) for name, var in exist_vars.items()
             }
-            remaining = None
-            if time_limit is not None:
-                remaining = max(0.01, time_limit - (time.monotonic() - start))
-            if verify_witness(key_guess, remaining) is False:
+            if verify_witness(key_guess) is False:
                 return QBFResult(
-                    True, key_guess, iterations, time.monotonic() - start
+                    True, key_guess, iterations, deadline.now() - start
                 )
 
     while True:
         if iterations >= max_iterations:
-            return QBFResult(None, None, iterations, time.monotonic() - start)
-        if time_limit is not None and time.monotonic() - start > time_limit:
-            return QBFResult(None, None, iterations, time.monotonic() - start)
+            return out_of_budget(iterations)
+        if deadline.expired():
+            return out_of_budget(iterations)
         iterations += 1
 
-        remaining = None
-        if time_limit is not None:
-            remaining = max(0.01, time_limit - (time.monotonic() - start))
-        status = candidate.solve(time_limit=remaining)
+        status = candidate.solve(time_limit=deadline)
         if status is None:
-            return QBFResult(None, None, iterations, time.monotonic() - start)
+            return out_of_budget(iterations)
         if status is False:
-            return QBFResult(False, None, iterations, time.monotonic() - start)
+            return QBFResult(False, None, iterations, deadline.now() - start)
         model = candidate.model()
         key_guess = {name: model.get(var, False) for name, var in exist_vars.items()}
 
@@ -230,14 +241,12 @@ def solve_exists_forall_circuit(
             var if key_guess[name] else -var for name, var in exist_vars.items()
             for var in [all_vars[name]]
         ]
-        if time_limit is not None:
-            remaining = max(0.01, time_limit - (time.monotonic() - start))
-        status = verifier.solve(assumptions, time_limit=remaining)
+        status = verifier.solve(assumptions, time_limit=deadline)
         if status is None:
-            return QBFResult(None, None, iterations, time.monotonic() - start)
+            return out_of_budget(iterations)
         if status is False:
             # No universal counterexample: key_guess is a true witness.
-            return QBFResult(True, key_guess, iterations, time.monotonic() - start)
+            return QBFResult(True, key_guess, iterations, deadline.now() - start)
 
         vmodel = verifier.model()
         cex = {name: vmodel.get(all_vars[name], False) for name in forall_inputs}
@@ -285,9 +294,13 @@ def solve_2qbf(qbf, max_universals=20, time_limit=None):
     production path is :func:`solve_exists_forall_circuit`.
 
     Returns a :class:`QBFResult` whose witness maps existential *variable
-    numbers* to bools.
+    numbers* to bools.  ``time_limit`` accepts float seconds or a shared
+    :class:`repro.budget.Deadline`.
     """
-    start = time.monotonic()
+    deadline = Deadline.of(time_limit)
+    start = deadline.now()
+    if deadline.expired():
+        return QBFResult(None, None, 0, 0.0)
     blocks = qbf.prefix
     if not blocks or blocks[0][0] != EXISTS:
         # Tolerate a leading universal block by prepending an empty E block.
@@ -341,16 +354,16 @@ def solve_2qbf(qbf, max_universals=20, time_limit=None):
             if satisfied:
                 continue
             if not mapped:
-                return QBFResult(False, None, 0, time.monotonic() - start)
+                return QBFResult(False, None, 0, deadline.now() - start)
             solver.add_clause(mapped)
-        if time_limit is not None and time.monotonic() - start > time_limit:
-            return QBFResult(None, None, 0, time.monotonic() - start)
+        if deadline.expired():
+            return QBFResult(None, None, 0, deadline.now() - start)
 
-    status = solver.solve(time_limit=time_limit)
+    status = solver.solve(time_limit=deadline)
     if status is True:
         model = solver.model()
         witness = {v: model.get(outer_vars[v], False) for v in outer}
-        return QBFResult(True, witness, 1, time.monotonic() - start)
+        return QBFResult(True, witness, 1, deadline.now() - start)
     if status is False:
-        return QBFResult(False, None, 1, time.monotonic() - start)
-    return QBFResult(None, None, 1, time.monotonic() - start)
+        return QBFResult(False, None, 1, deadline.now() - start)
+    return QBFResult(None, None, 1, deadline.now() - start)

@@ -30,9 +30,18 @@ from __future__ import annotations
 import time
 from heapq import heappop, heappush
 
+from ..budget import Deadline
+
 __all__ = ["Solver", "SolveResult", "luby"]
 
 _UNASSIGNED = -1
+
+#: Trail pops between deadline probes inside :meth:`Solver._propagate`.
+#: Each pop scans a watch list, so a stride costs far more than the one
+#: clock read it amortizes — the limit binds even on conflict-free,
+#: propagation-heavy instances.
+_PROPS_PER_TIME_CHECK = 4096
+_NEVER_CHECK = float("inf")
 
 
 def luby(i):
@@ -96,6 +105,8 @@ class Solver:
         self._cla_inc = 1.0
         self._cla_decay = 1.0 / 0.999
         self._ok = True
+        self._deadline = None  # active Deadline while inside solve()
+        self._budget_hit = False  # set by _propagate on deadline expiry
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
@@ -246,7 +257,16 @@ class Solver:
         reason = self._reason
         trail_lim = self._trail_lim
         props = 0
+        check_at = (
+            _PROPS_PER_TIME_CHECK if self._deadline is not None else _NEVER_CHECK
+        )
         while self._qhead < len(trail):
+            if props >= check_at:
+                check_at = props + _PROPS_PER_TIME_CHECK
+                if self._deadline.expired():
+                    self._budget_hit = True
+                    self.propagations += props
+                    return None
             p = trail[self._qhead]
             self._qhead += 1
             props += 1
@@ -431,23 +451,50 @@ class Solver:
                 ]
 
     def solve(self, assumptions=(), max_conflicts=None, time_limit=None):
-        """Run CDCL search; returns True / False / None (budget exceeded)."""
+        """Run CDCL search; returns True / False / None (budget exceeded).
+
+        ``time_limit`` is either float seconds or a shared
+        :class:`repro.budget.Deadline`; expiry is detected on a
+        propagation-count stride (every ``_PROPS_PER_TIME_CHECK`` trail
+        pops) as well as between decisions, so the limit binds even on
+        conflict-free instances.
+        """
         start = time.monotonic()
         start_conflicts = self.conflicts
         if not self._ok:
             self.last_result = SolveResult(False, 0, 0, 0, 0.0)
             return False
 
+        deadline = Deadline.of(time_limit)
+        if not deadline.bounded:
+            deadline = None
+
         enc_assumptions = []
         for lit in assumptions:
             self.ensure_vars(abs(lit))
             enc_assumptions.append(self._encode(lit))
 
+        self._deadline = deadline
+        self._budget_hit = False
+        try:
+            return self._search(
+                enc_assumptions, deadline, max_conflicts, start, start_conflicts
+            )
+        finally:
+            self._deadline = None
+            self._budget_hit = False
+
+    def _search(self, enc_assumptions, deadline, max_conflicts, start,
+                start_conflicts):
         self._backtrack(0)
-        if self._propagate() is not None:
+        conflict = self._propagate()
+        if conflict is not None:
             self._ok = False
             self.last_result = SolveResult(False, 0, 0, 0, time.monotonic() - start)
             return False
+        if self._budget_hit:
+            self.last_result = SolveResult(None, 0, 0, 0, time.monotonic() - start)
+            return None
 
         self._rebuild_heap()
         clause_act = {}
@@ -489,9 +536,10 @@ class Solver:
                 ) >= max_conflicts:
                     status = "budget"
                     break
-                if time_limit is not None and (self.conflicts % 64 == 0) and (
-                    time.monotonic() - start > time_limit
-                ):
+                # Amortized: reads the clock every 64th conflict.  The
+                # propagation-stride probe inside _propagate covers the
+                # conflict-free case this counter can never reach.
+                if deadline is not None and deadline.check(every_n=64):
                     status = "budget"
                     break
                 if conflicts_this_restart >= restart_budget:
@@ -505,7 +553,7 @@ class Solver:
                 continue
 
             # No conflict: extend the assignment.
-            if time_limit is not None and time.monotonic() - start > time_limit:
+            if deadline is not None and (self._budget_hit or deadline.expired()):
                 status = "budget"
                 break
 

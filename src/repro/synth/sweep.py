@@ -14,6 +14,7 @@ performs is globally sound.
 
 from __future__ import annotations
 
+from ..budget import Deadline
 from ..netlist.circuit import Circuit
 from ..netlist.cone import transitive_fanout
 from ..netlist.gate import Gate, GateType
@@ -147,6 +148,7 @@ def implication_simplify(
     max_conflicts=3000,
     max_checks=200,
     observations=None,
+    time_limit=None,
 ):
     """Simplify 2-input gates whose fanins are SAT-provably related.
 
@@ -162,9 +164,15 @@ def implication_simplify(
     observations:
         Output of :func:`simulation_observations`; skips probes already
         refuted by simulation.
+    time_limit:
+        Optional wall-clock cap (float seconds or a shared
+        :class:`repro.budget.Deadline`): no new gate is probed once it
+        expires.  Stopping early is sound — every rewrite already made
+        is function-preserving on its own.
 
     Returns ``(new_circuit, rewrites)`` with the number of gates changed.
     """
+    deadline = Deadline.of(time_limit)
     out = circuit.copy()
     names = list(region) if region is not None else [g.name for g in out.gates()]
     considered = 0
@@ -172,6 +180,8 @@ def implication_simplify(
 
     for sig in names:
         if considered >= max_checks:
+            break
+        if deadline.check(every_n=4):
             break
         if sig not in out:
             continue

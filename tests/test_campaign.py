@@ -216,6 +216,84 @@ class TestKillAndResume:
         assert done_before <= set(os.listdir(cells_dir))
 
 
+class TestHardTimeout:
+    """cell_timeout is a hard limit enforced by killable cell workers."""
+
+    def _sleepy_spec(self, tmp_path, cell_timeout=1.0, workers=1, sleep_s=30.0):
+        return CampaignSpec(
+            name="hard",
+            artifacts=("selftest",),
+            options={"cells": 2, "sleep_s": sleep_s, "slow_cells": [1]},
+            workers=workers,
+            cell_timeout=cell_timeout,
+            results_root=str(tmp_path),
+        )
+
+    def test_hung_cell_is_killed_and_recorded_as_timeout(self, tmp_path):
+        import time
+
+        spec = self._sleepy_spec(tmp_path)
+        t0 = time.monotonic()
+        outcome = run_campaign(spec)
+        wall = time.monotonic() - t0
+        # The slow cell sleeps 30s; the whole campaign must finish far
+        # sooner — the kill lands within ~2x the 1s timeout.
+        assert wall < 10.0
+        assert outcome.ran == 2 and outcome.errors == []
+        assert len(outcome.timeouts) == 1
+        record = json.load(open(os.path.join(
+            spec.cells_dir, f"{outcome.timeouts[0]}.json"
+        )))
+        assert record["status"] == "timeout"
+        assert record["timed_out"] is True
+        assert record["elapsed"] < 2 * spec.cell_timeout
+        # Aggregation survives and carries exactly the healthy cell's row.
+        assert outcome.tables["selftest"][1] == [(0, "0.00")]
+
+    def test_resume_treats_timeout_as_completed_not_retry_forever(self, tmp_path):
+        import time
+
+        spec = self._sleepy_spec(tmp_path)
+        first = run_campaign(spec)
+        assert len(first.timeouts) == 1
+        t0 = time.monotonic()
+        resumed = run_campaign(spec)
+        assert time.monotonic() - t0 < 5.0, (
+            "resume must not re-run the pathological cell"
+        )
+        assert resumed.skipped == 2 and resumed.ran == 0
+        assert resumed.timeouts == []  # nothing re-ran, nothing re-killed
+        status = campaign_status(spec=spec)
+        assert status["pending"] == []
+        assert len(status["timeouts"]) == 1
+
+    def test_unwrap_refuses_timed_out_aggregate(self, tmp_path):
+        outcome = run_campaign(self._sleepy_spec(tmp_path))
+        with pytest.raises(CampaignError, match="cell_timeout"):
+            outcome.unwrap("selftest")
+
+    def test_isolated_runner_matches_serial_when_nothing_times_out(self, tmp_path):
+        """The per-cell process path stays bit-identical to the serial one."""
+        spec = _spec(tmp_path, workers=2)
+        spec.cell_timeout = 300.0
+        outcome = run_campaign(spec)
+        assert outcome.complete and outcome.timeouts == []
+        assert outcome.tables["table1"] == table1_rows(scale="tiny")
+
+    def test_parallel_watchdog_kills_only_the_slow_cells(self, tmp_path):
+        spec = CampaignSpec(
+            name="hard2",
+            artifacts=("selftest",),
+            options={"cells": 4, "sleep_s": 30.0, "slow_cells": [0, 2]},
+            workers=2,
+            cell_timeout=1.0,
+            results_root=str(tmp_path),
+        )
+        outcome = run_campaign(spec)
+        assert outcome.ran == 4 and len(outcome.timeouts) == 2
+        assert outcome.tables["selftest"][1] == [(1, "0.00"), (3, "0.00")]
+
+
 class TestStatusAndReport:
     def test_status_counts_partial_campaign(self, tmp_path):
         spec = _spec(tmp_path)
@@ -245,15 +323,22 @@ class TestStatusAndReport:
         assert loaded.to_dict() == spec.to_dict()
 
     def test_cell_records_carry_accounting(self, tmp_path):
+        """An overrun cell is either killed (``status="timeout"``) or — if
+        it finished inside the watchdog's kill window — keeps its real
+        record; the ``timed_out`` accounting flag is set either way.
+        (Deterministic kill coverage lives in ``TestHardTimeout``, whose
+        cells sleep far longer than a watchdog poll.)"""
         spec = _spec(tmp_path)
         spec.cell_timeout = 1e-9  # everything is slower than a nanosecond
-        run_campaign(spec, limit=1)
+        outcome = run_campaign(spec, limit=1)
         (record_file,) = os.listdir(spec.cells_dir)
         record = json.load(open(os.path.join(spec.cells_dir, record_file)))
-        assert record["status"] == "ok"
+        assert record["status"] in ("ok", "timeout")
         assert record["elapsed"] >= 0.0
         assert record["timed_out"] is True
         assert record["pid"] > 0
+        if record["status"] == "timeout":
+            assert outcome.timeouts == [record["cell_id"]]
 
 
 class TestCli:
