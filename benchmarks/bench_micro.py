@@ -15,6 +15,13 @@ trajectory to beat.  Three sections:
   Records propagations/sec and conflicts/sec for both.
 * **kratt_flow** — end-to-end ``kratt_ol_attack`` / ``kratt_og_attack``
   wall time on locked registry hosts.
+* **scope_sweep** — the SCOPE per-key sweep with the structural memo
+  (cone walks + pinned features, ``repro.netlist.cone``) disabled (cold)
+  versus enabled (warm); guesses must be identical and the warm sweep is
+  expected to hold a healthy speedup.
+* **prep_store** — ``prepare_locked`` against a fresh disk store (cold
+  compute + publish) versus a warm hit served from the store
+  (``repro.experiments.prepstore``).
 
 Run from the repo root (any of)::
 
@@ -222,6 +229,94 @@ def _spec(name):
     return SPECS[name]
 
 
+def bench_scope_sweep(circuits, repeat):
+    """SCOPE key sweep, cold (structural memo off) vs warm (memo on)."""
+    from repro.attacks.scope import scope_attack
+    from repro.netlist import cone
+    from repro.synth.resynth import resynthesize
+
+    rows = []
+    for host_name, technique in [(circuits[0], "sarlock"),
+                                 (circuits[0], "antisat")]:
+        host = generate_host(host_name)
+        width = scaled_key_width(_spec(host_name))
+        locked = TECHNIQUES[technique](host, width, seed=7)
+        netlist = resynthesize(locked.circuit, seed=1, effort=2)
+        kwargs = {"rule": "preserve", "use_implications": False,
+                  "power_patterns": 16}
+
+        previous = cone.set_cone_memo(False)
+        try:
+            cold_s, cold_res = best_of(
+                lambda: scope_attack(netlist, locked.key_inputs, **kwargs),
+                repeat,
+            )
+        finally:
+            cone.set_cone_memo(previous)
+        # Populate the memo once, then time the warm sweep.
+        scope_attack(netlist, locked.key_inputs, **kwargs)
+        warm_s, warm_res = best_of(
+            lambda: scope_attack(netlist, locked.key_inputs, **kwargs),
+            repeat,
+        )
+        rows.append(
+            {
+                "circuit": host_name,
+                "technique": technique,
+                "keys": len(locked.key_inputs),
+                "gates": netlist.num_gates,
+                "cold_s": cold_s,
+                "warm_s": warm_s,
+                "speedup": cold_s / warm_s if warm_s else float("inf"),
+                "guesses_identical": cold_res.guesses == warm_res.guesses,
+            }
+        )
+    return rows
+
+
+def bench_prep_store(repeat):
+    """prepare_locked against a fresh disk store: cold compute vs warm hit."""
+    import shutil
+    import tempfile
+
+    from repro.experiments.harness import clear_prep_cache, prepare_locked
+    from repro.experiments.prepstore import PrepStore
+    from repro.netlist.bench import write_bench
+
+    rows = []
+    tmp = tempfile.mkdtemp(prefix="repro-bench-prepstore-")
+    try:
+        store = PrepStore(root=tmp, capacity=16, enabled=True)
+        for circuit, technique in [("c2670", "ttlock"), ("c6288", "sarlock")]:
+            clear_prep_cache()
+            with Timer() as t_cold:
+                cold = prepare_locked(circuit, technique, cache=False,
+                                      store=store)
+            best = None
+            for _ in range(max(1, repeat)):
+                clear_prep_cache()
+                with Timer() as t_warm:
+                    warm = prepare_locked(circuit, technique, cache=False,
+                                          store=store)
+                if best is None or t_warm.elapsed < best:
+                    best = t_warm.elapsed
+            rows.append(
+                {
+                    "circuit": circuit,
+                    "technique": technique,
+                    "cold_s": t_cold.elapsed,
+                    "warm_s": best,
+                    "speedup": t_cold.elapsed / best if best else float("inf"),
+                    "bit_identical": (
+                        write_bench(cold.netlist) == write_bench(warm.netlist)
+                    ),
+                }
+            )
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+    return rows
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -268,6 +363,20 @@ def main(argv=None):
             f"  kratt-{row['mode']} {row['technique']:>8}: "
             f"{row['elapsed_s']:.2f}s success={row['success']}"
         )
+    scope_sweep = bench_scope_sweep(circuits, args.repeat)
+    for row in scope_sweep:
+        print(
+            f"  scope {row['technique']:>8}: {row['speedup']:5.1f}x warm "
+            f"({row['cold_s']:.3f}s -> {row['warm_s']:.3f}s, "
+            f"identical={row['guesses_identical']})"
+        )
+    prep_store = bench_prep_store(args.repeat)
+    for row in prep_store:
+        print(
+            f"  prep {row['circuit']:>8}/{row['technique']}: "
+            f"{row['speedup']:5.1f}x warm ({row['cold_s']:.3f}s -> "
+            f"{row['warm_s']:.3f}s, identical={row['bit_identical']})"
+        )
 
     payload = {
         "bench": "micro",
@@ -276,6 +385,8 @@ def main(argv=None):
         "evaluation": evaluation,
         "solver": solver,
         "kratt_flow": flow,
+        "scope_sweep": scope_sweep,
+        "prep_store": prep_store,
         "summary": {
             "eval_min_speedup": min(r["speedup"] for r in evaluation),
             "eval_all_bit_identical": all(r["bit_identical"] for r in evaluation),
@@ -283,6 +394,14 @@ def main(argv=None):
                 r["prop_rate_ratio"] for r in solver
             ),
             "solver_status_agreement": all(r["status_agreement"] for r in solver),
+            "scope_sweep_min_speedup": min(r["speedup"] for r in scope_sweep),
+            "scope_sweep_guesses_identical": all(
+                r["guesses_identical"] for r in scope_sweep
+            ),
+            "prep_store_min_speedup": min(r["speedup"] for r in prep_store),
+            "prep_store_bit_identical": all(
+                r["bit_identical"] for r in prep_store
+            ),
         },
     }
     out = pathlib.Path(args.out)
@@ -296,6 +415,12 @@ def main(argv=None):
         return 1
     if not payload["summary"]["solver_status_agreement"]:
         print("FATAL: overhauled solver disagrees with the baseline solver")
+        return 1
+    if not payload["summary"]["scope_sweep_guesses_identical"]:
+        print("FATAL: memoized SCOPE sweep changed the guesses")
+        return 1
+    if not payload["summary"]["prep_store_bit_identical"]:
+        print("FATAL: warm prep-store netlist differs from cold compute")
         return 1
     return 0
 

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..budget import Deadline
-from ..netlist.cone import transitive_fanout
+from ..netlist.cone import memoize_analysis, transitive_fanout
 from ..synth.constprop import circuit_features, dead_code_eliminate, propagate_constants
 from ..synth.sweep import implication_simplify, simulation_observations
 
@@ -65,9 +65,10 @@ class ScopeResult:
 
 def _pinned_features(
     circuit, key, value, use_implications, window, max_conflicts, max_checks,
-    power_patterns, deadline,
+    power_patterns, deadline, region=None,
 ):
-    region = transitive_fanout(circuit, [key], include_sources=False)
+    if region is None:
+        region = transitive_fanout(circuit, [key], include_sources=False)
     pinned, _ = propagate_constants(circuit, {key: bool(value)})
     pinned, _ = dead_code_eliminate(pinned)
     if use_implications:
@@ -138,19 +139,39 @@ def scope_attack(
         if key not in circuit:
             guesses[key] = None
             continue
+        # One structural walk per key: the 0-pin and 1-pin sides share
+        # the fanout region, and the memo keeps it across repeated
+        # sweeps of the same netlist (e.g. rule comparisons).
+        region = transitive_fanout(circuit, [key], include_sources=False)
         feats = {}
         for value in (0, 1):
-            feats[value] = _pinned_features(
+            compute = lambda v=value: _pinned_features(
                 circuit,
                 key,
-                value,
+                v,
                 use_implications,
                 window,
                 max_conflicts,
                 max_checks,
                 power_patterns,
                 deadline,
+                region=region,
             )
+            if use_implications:
+                # The implication sweep is deadline-bounded, so its
+                # result is not a pure function of the netlist: compute
+                # fresh every time.
+                feats[value] = compute()
+            else:
+                # Fast path is deterministic in (circuit, key, value,
+                # knobs): reuse features across pins and repeated sweeps
+                # through the same epoch-tied memo the cone walks use.
+                feats[value] = memoize_analysis(
+                    circuit,
+                    ("scope_feats", key, value, window, max_conflicts,
+                     max_checks, power_patterns),
+                    compute,
+                )
         if deadline.expired():
             # The deadline landed inside this key's 0-vs-1 sweep pair:
             # the two sides got unequal probing effort, so an area

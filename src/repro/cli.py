@@ -11,7 +11,9 @@ script driven on ``.bench`` files):
 * ``info``     — print netlist statistics;
 * ``gen``      — emit one of the registered benchmark stand-ins;
 * ``campaign`` — run/resume/inspect parallel attack campaigns over the
-  paper's (circuit x technique x attack) grid.
+  paper's (circuit x technique x attack) grid;
+* ``prepstore`` — inspect or wipe the shared cross-campaign preparation
+  store.
 
 Key files are one ``name=0|1`` pair per line.
 """
@@ -242,6 +244,25 @@ def _cmd_campaign_run(args):
     return 1 if result.errors else 0
 
 
+def _print_prep_stats(status):
+    """One-line cache/store summary shared by status and report."""
+    prep = status.get("prep") or {}
+    store = status.get("store") or {}
+    print(
+        "prep: store hits={} misses={} puts={} | L1 hits={} misses={}".format(
+            prep.get("store_hits", 0), prep.get("store_misses", 0),
+            prep.get("store_puts", 0), prep.get("l1_hits", 0),
+            prep.get("l1_misses", 0),
+        )
+    )
+    if store:
+        state = "on" if store.get("enabled") else "off"
+        print(
+            f"store: {store.get('entries', 0)}/{store.get('capacity', 0)} "
+            f"entries ({state}) at {store.get('root', '?')}"
+        )
+
+
 @_campaign_cli
 def _cmd_campaign_status(args):
     from .experiments.campaign import campaign_status
@@ -250,6 +271,7 @@ def _cmd_campaign_status(args):
     for artifact, counts in status["artifacts"].items():
         print(f"{artifact}: {counts['done']}/{counts['total']} done")
     print(f"total: {status['done']}/{status['total']} done")
+    _print_prep_stats(status)
     if status["timeouts"]:
         print(f"timed out: {', '.join(status['timeouts'][:8])}"
               + (" ..." if len(status["timeouts"]) > 8 else ""))
@@ -261,13 +283,25 @@ def _cmd_campaign_status(args):
 
 @_campaign_cli
 def _cmd_campaign_report(args):
-    from .experiments.campaign import load_spec, write_reports
+    from .experiments.campaign import campaign_status, load_spec, write_reports
 
     spec = load_spec(args.name, results_root=args.root)
     for path in write_reports(spec):
         print(f"wrote {path}")
         if args.show:
             print(open(path).read())
+    _print_prep_stats(campaign_status(spec=spec))
+    return 0
+
+
+def _cmd_prepstore(args):
+    from .experiments.prepstore import clear_prep_store, prep_store_info
+
+    if args.prepstore_command == "clear":
+        removed = clear_prep_store()
+        print(f"removed {removed} entries")
+        return 0
+    print(json.dumps(prep_store_info(), indent=2, sort_keys=True))
     return 0
 
 
@@ -365,6 +399,16 @@ def build_parser():
     c.add_argument("--root")
     c.add_argument("--show", action="store_true", help="print the tables")
     c.set_defaults(func=_cmd_campaign_report)
+
+    p = sub.add_parser(
+        "prepstore",
+        help="inspect or wipe the shared preparation store "
+             "(REPRO_PREP_STORE_DIR)",
+    )
+    psub = p.add_subparsers(dest="prepstore_command", required=True)
+    psub.add_parser("info", help="print store statistics as JSON")
+    psub.add_parser("clear", help="remove every stored preparation")
+    p.set_defaults(func=_cmd_prepstore)
     return parser
 
 

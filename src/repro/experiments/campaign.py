@@ -46,7 +46,8 @@ import traceback
 from collections import namedtuple
 from dataclasses import dataclass, field, asdict
 
-from .harness import format_table
+from .harness import format_table, prep_stats
+from .prepstore import prep_store_info
 from . import tables
 
 __all__ = [
@@ -62,6 +63,7 @@ __all__ = [
     "aggregate_campaign",
     "write_reports",
     "load_spec",
+    "sum_prep_stats",
     "DEFAULT_RESULTS_ROOT",
 ]
 
@@ -257,6 +259,7 @@ class CampaignResult:
     elapsed: float
     tables: dict = None  # artifact -> (header, rows); None while incomplete
     timeouts: list = field(default_factory=list)  # cell ids killed on timeout
+    prep: dict = field(default_factory=dict)  # summed per-cell cache deltas
 
     @property
     def complete(self):
@@ -292,11 +295,20 @@ class CampaignResult:
 
     def summary(self):
         state = "complete" if self.complete else "partial"
-        return (
+        line = (
             f"campaign {self.spec.name}: {state}, cells total={self.total} "
             f"ran={self.ran} skipped={self.skipped} errors={len(self.errors)} "
             f"timeouts={len(self.timeouts)} ({self.elapsed:.1f}s)"
         )
+        if self.prep:
+            line += (
+                f"\nprep: store hits={self.prep.get('store_hits', 0)} "
+                f"misses={self.prep.get('store_misses', 0)} "
+                f"puts={self.prep.get('store_puts', 0)} | "
+                f"L1 hits={self.prep.get('l1_hits', 0)} "
+                f"misses={self.prep.get('l1_misses', 0)}"
+            )
+        return line
 
 
 def _slug(value):
@@ -355,10 +367,31 @@ def _load_cell_record(path):
     return record
 
 
+def _prep_delta(before, after):
+    """Per-cell preparation-cache counter delta (both dicts flat ints)."""
+    return {k: after[k] - before.get(k, 0) for k in after}
+
+
+def sum_prep_stats(records):
+    """Fold the ``prep`` deltas of many cell records into one total.
+
+    Tolerates records without a ``prep`` field (pre-store campaigns,
+    ``status="timeout"`` records killed before accounting) and an empty
+    record list — a campaign of only timed-out cells must still report.
+    """
+    total = {}
+    for record in records:
+        for key, value in (record.get("prep") or {}).items():
+            if isinstance(value, (int, float)):
+                total[key] = total.get(key, 0) + value
+    return total
+
+
 def _run_cell_payload(payload):
     """Execute one cell; module-level so worker pools can pickle it."""
     artifact_name, params, options = payload
     start = time.monotonic()
+    prep_before = prep_stats()
     try:
         result = ARTIFACTS[artifact_name].cell(params, options)
         status, error = "ok", None
@@ -372,6 +405,7 @@ def _run_cell_payload(payload):
         "error": error,
         "elapsed": time.monotonic() - start,
         "pid": os.getpid(),
+        "prep": _prep_delta(prep_before, prep_stats()),
     }
 
 
@@ -579,6 +613,7 @@ def run_campaign(spec, resume=True, fresh=False, limit=None, progress=None):
 
     errors = []
     timeouts = []
+    prep_totals = {}
 
     def finish(cell, record):
         record["cell_id"] = cell.cell_id
@@ -587,6 +622,9 @@ def run_campaign(spec, resume=True, fresh=False, limit=None, progress=None):
                 record["status"] == "timeout"
                 or record["elapsed"] > spec.cell_timeout
             )
+        for key, value in (record.get("prep") or {}).items():
+            if isinstance(value, (int, float)):
+                prep_totals[key] = prep_totals.get(key, 0) + value
         if record["status"] == "timeout":
             timeouts.append(cell.cell_id)
         if record["status"] in ("ok", "timeout"):
@@ -624,6 +662,7 @@ def run_campaign(spec, resume=True, fresh=False, limit=None, progress=None):
         errors=errors,
         elapsed=time.monotonic() - start,
         timeouts=timeouts,
+        prep=prep_totals,
     )
     if not errors and result.ran + result.skipped == result.total:
         result.tables = aggregate_campaign(spec, cells=cells)
@@ -633,8 +672,13 @@ def run_campaign(spec, resume=True, fresh=False, limit=None, progress=None):
 def campaign_status(name=None, results_root=None, spec=None):
     """Completion state of a stored campaign.
 
-    Returns a dict with per-artifact ``done``/``total`` counts and the
-    ids of pending cells.
+    Returns a dict with per-artifact ``done``/``total`` counts, the ids
+    of pending cells, the summed per-cell preparation-cache deltas
+    (``prep``), and a snapshot of the shared disk store (``store``).
+    All aggregates tolerate degenerate campaigns — zero records, or
+    records that are *all* ``status="timeout"`` (killed cells carry no
+    ``result`` and possibly no ``prep``) — without assuming at least one
+    healthy cell exists.
     """
     if spec is None:
         spec = load_spec(name, results_root=results_root)
@@ -642,14 +686,19 @@ def campaign_status(name=None, results_root=None, spec=None):
     per_artifact = {a: {"done": 0, "total": 0} for a in spec.artifacts}
     pending = []
     timeouts = []
+    records = []
+    healthy = 0
     for cell in cells:
         per_artifact[cell.artifact]["total"] += 1
         path = os.path.join(spec.cells_dir, f"{cell.cell_id}.json")
         record = _load_cell_record(path)
         if record is not None:
+            records.append(record)
             per_artifact[cell.artifact]["done"] += 1
             if record.get("status") == "timeout":
                 timeouts.append(cell.cell_id)
+            else:
+                healthy += 1
         else:
             pending.append(cell.cell_id)
     return {
@@ -658,8 +707,11 @@ def campaign_status(name=None, results_root=None, spec=None):
         "artifacts": per_artifact,
         "done": len(cells) - len(pending),
         "total": len(cells),
+        "healthy": healthy,
         "pending": pending,
         "timeouts": timeouts,
+        "prep": sum_prep_stats(records),
+        "store": prep_store_info(),
     }
 
 

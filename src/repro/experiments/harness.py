@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from ..benchgen.registry import generate_host, resolve_scale, scaled_key_width, SPECS
 from ..locking import TECHNIQUES
 from ..synth.resynth import resynthesize
+from . import prepstore
 
 __all__ = [
     "PreparedCircuit",
@@ -24,6 +25,7 @@ __all__ = [
     "prepare_locked",
     "prep_cache_info",
     "clear_prep_cache",
+    "prep_stats",
     "format_table",
     "Timer",
 ]
@@ -129,6 +131,10 @@ class PrepCache:
 
 _PREP_CACHE = PrepCache()
 
+#: Resynthesis recipe applied by :func:`prepare_locked`; part of the
+#: disk-store content hash so a recipe change invalidates old entries.
+_RESYNTH_RECIPE = {"effort": 2}
+
 
 def prep_cache_info():
     """Statistics of the process-local preparation cache."""
@@ -137,6 +143,22 @@ def prep_cache_info():
 
 def clear_prep_cache():
     _PREP_CACHE.clear()
+
+
+def prep_stats():
+    """Flat preparation-cache counters: per-process L1 + disk store.
+
+    This is what campaign cells snapshot before/after execution to
+    attach per-cell cache deltas to their persisted records.
+    """
+    l1 = _PREP_CACHE.info()
+    stats = {
+        "l1_hits": l1["hits"],
+        "l1_misses": l1["misses"],
+        "l1_evictions": l1["evictions"],
+    }
+    stats.update(prepstore.prep_store().stats())
+    return stats
 
 
 def _prep_key(circuit_name, technique, scale, seed, synth_seed, resynth, h):
@@ -151,6 +173,22 @@ def _prep_key(circuit_name, technique, scale, seed, synth_seed, resynth, h):
     return (circuit_name, technique, scale, seed, synth_seed, bool(resynth), eff_h)
 
 
+def _store_params(key):
+    """The JSON-safe parameter dict hashed into the disk-store key."""
+    circuit_name, technique, scale, seed, synth_seed, resynth, eff_h = key
+    return {
+        "circuit": circuit_name,
+        "technique": technique,
+        "scale": scale,
+        "seed": seed,
+        "synth_seed": synth_seed,
+        "resynth": resynth,
+        "h": eff_h,
+        "key_width": SPECS[circuit_name].key_width,
+        "recipe": _RESYNTH_RECIPE,
+    }
+
+
 def prepare_locked(
     circuit_name,
     technique,
@@ -160,13 +198,22 @@ def prepare_locked(
     resynth=True,
     h=None,
     cache=True,
+    store=None,
 ):
     """Generate, lock, and resynthesize one benchmark circuit.
 
     Mirrors the paper's setup: hosts locked at RTL, then synthesized "to
     break the regular structure of the locking scheme".  Deterministic in
     all arguments; results are memoized per process in a bounded LRU
-    (:class:`PrepCache`).
+    (:class:`PrepCache`, the L1) over a cross-process, cross-campaign
+    disk store (:mod:`repro.experiments.prepstore`, the L2).
+
+    ``store`` selects the L2: ``None`` uses the env-configured default,
+    ``False`` disables it for this call, and a
+    :class:`~repro.experiments.prepstore.PrepStore` instance pins one
+    explicitly.  With the store active, even a cold compute is round-
+    tripped through the store's canonical serialization, so cold and
+    warm calls return structurally identical netlists.
     """
     scale = resolve_scale(scale)
     key = _prep_key(circuit_name, technique, scale, seed, synth_seed, resynth, h)
@@ -174,6 +221,19 @@ def prepare_locked(
         cached = _PREP_CACHE.get(key)
         if cached is not None:
             return cached
+
+    if store is None:
+        store = prepstore.prep_store()
+    elif store is False:
+        store = None
+    digest = None
+    if store is not None and store.enabled:
+        digest = prepstore.store_key(_store_params(key))
+        prepared = store.get(digest)
+        if prepared is not None:
+            if cache:
+                _PREP_CACHE.put(key, prepared)
+            return prepared
 
     start = time.monotonic()
     spec = SPECS[circuit_name]
@@ -199,6 +259,10 @@ def prepare_locked(
         key_width=locked.key_width,
         prep_elapsed=time.monotonic() - start,
     )
+    if digest is not None:
+        # Publish and adopt the canonical round-tripped form, so this
+        # cold path returns exactly what a warm hit will return.
+        prepared = store.put(digest, prepared, _store_params(key))
     if cache:
         _PREP_CACHE.put(key, prepared)
     return prepared

@@ -75,6 +75,16 @@ def _opt(options, key, default):
     return default if value is None else value
 
 
+def _store_opt(options):
+    """``store`` argument for :func:`prepare_locked` from cell options.
+
+    ``options["prep_store"] = False`` opts a campaign out of the shared
+    disk store (cells fall back to per-process preparation); anything
+    else keeps the env-configured default.
+    """
+    return False if _opt(options, "prep_store", True) is False else None
+
+
 def _serial_rows(expand, cell, aggregate, options):
     return aggregate([cell(c, options) for c in expand(options)], options)
 
@@ -151,7 +161,8 @@ def table2_cell(cell, options):
     scale = _opt(options, "scale", None)
     qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
     ol_time_limit = _opt(options, "ol_time_limit", DEFAULT_OL_TIME_LIMIT)
-    prep = prepare_locked(circuit_name, technique, scale=scale)
+    prep = prepare_locked(circuit_name, technique, scale=scale,
+                          store=_store_opt(options))
     with Timer() as t_scope:
         scope = scope_attack(
             prep.netlist, prep.locked.key_inputs, rule="preserve",
@@ -212,7 +223,8 @@ def table3_cell(cell, options):
     scale = _opt(options, "scale", None)
     baseline_time_limit = _opt(options, "baseline_time_limit", 15.0)
     qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
-    prep = prepare_locked(circuit_name, technique, scale=scale)
+    prep = prepare_locked(circuit_name, technique, scale=scale,
+                          store=_store_opt(options))
     cells = []
     for attack in (sat_attack, ddip_attack, appsat_attack):
         oracle = Oracle(prep.locked.original)
@@ -284,7 +296,8 @@ def table4_cell(cell, options):
     scale = _opt(options, "scale", None)
     qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
     ol_time_limit = _opt(options, "ol_time_limit", DEFAULT_OL_TIME_LIMIT)
-    prep = prepare_locked(circuit_name, "genantisat", scale=scale)
+    prep = prepare_locked(circuit_name, "genantisat", scale=scale,
+                          store=_store_opt(options))
     with Timer() as t_scope:
         scope = scope_attack(
             prep.netlist, prep.locked.key_inputs, rule="preserve",
@@ -426,7 +439,8 @@ def fig6_cell(cell, options):
     technique, v = cell["technique"], cell["variant"]
     scale = _opt(options, "scale", None)
     qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
-    prep = prepare_locked("c6288", technique, scale=scale, resynth=False)
+    prep = prepare_locked("c6288", technique, scale=scale, resynth=False,
+                          store=_store_opt(options))
     effort = 1 + (v % 3)
     delay_bias = (v % 5) / 4.0
     netlist = resynthesize(
@@ -513,7 +527,8 @@ def valkyrie_cell(cell, options):
     scale = _opt(options, "scale", None)
     qbf_time_limit = _opt(options, "qbf_time_limit", 3.0)
     prep = prepare_locked(
-        circuit_name, technique, scale=scale, synth_seed=synth_seed
+        circuit_name, technique, scale=scale, synth_seed=synth_seed,
+        store=_store_opt(options),
     )
     if technique in SFLT_TECHNIQUES:
         result = kratt_ol_attack(

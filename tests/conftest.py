@@ -5,7 +5,10 @@ modules can import them without relying on the ``conftest`` module name,
 which ``benchmarks/conftest.py`` would shadow in a combined run.
 """
 
+import atexit
 import os
+import shutil
+import tempfile
 
 import pytest
 
@@ -13,6 +16,15 @@ from factories import GATE_CHOICES, build_random_circuit  # noqa: F401 (re-expor
 from repro.netlist import Circuit
 
 os.environ.setdefault("REPRO_SCALE", "tiny")
+# Keep test-run preparations out of the repo's shared prep store (and out
+# of other runs' stores): every pytest invocation gets a throwaway root,
+# removed when the main pytest process exits.  Set before
+# repro.experiments is imported so forked/spawned campaign workers
+# inherit the same root.
+if "REPRO_PREP_STORE_DIR" not in os.environ:
+    _store_dir = tempfile.mkdtemp(prefix="repro-prepstore-test-")
+    os.environ["REPRO_PREP_STORE_DIR"] = _store_dir
+    atexit.register(shutil.rmtree, _store_dir, ignore_errors=True)
 
 
 @pytest.fixture

@@ -203,7 +203,11 @@ class TestKillAndResume:
         proc.kill()
         proc.wait()
 
-        done_before = set(os.listdir(cells_dir))
+        # Only published records count: a kill landing mid-write leaves a
+        # stray <cell>.json.tmp.<pid> behind, which resume ignores.
+        done_before = {
+            e for e in os.listdir(cells_dir) if e.endswith(".json")
+        }
         assert done_before, "campaign never persisted a cell before the kill"
 
         spec = load_spec("killed", results_root=root)
@@ -213,7 +217,9 @@ class TestKillAndResume:
         assert outcome.skipped == len(done_before)
         assert outcome.ran == outcome.total - len(done_before)
         # The pre-kill records were not touched by the resume pass.
-        assert done_before <= set(os.listdir(cells_dir))
+        assert done_before <= {
+            e for e in os.listdir(cells_dir) if e.endswith(".json")
+        }
 
 
 class TestHardTimeout:

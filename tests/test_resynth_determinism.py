@@ -1,0 +1,137 @@
+"""Resynthesis determinism differentials (the prep store's foundation).
+
+The disk prep store (:mod:`repro.experiments.prepstore`) content-hashes
+*parameters*, not bytes: it is only sound if identical (circuit, recipe,
+synth_seed) produce bit-identical resynthesized netlists everywhere a
+worker might run.  These tests pin that down in-process, across child
+processes, and across ``fork`` vs ``spawn`` start methods, for both the
+raw :func:`repro.synth.resynth.resynthesize` pass and the full
+:func:`repro.experiments.harness.prepare_locked` store payload.
+"""
+
+import hashlib
+import json
+import multiprocessing
+import random
+
+import pytest
+
+from factories import build_locked_circuit, build_random_circuit
+from repro.netlist.bench import write_bench
+from repro.synth.resynth import resynthesize
+
+RECIPES = [
+    {"seed": 1, "effort": 2},
+    {"seed": 7, "effort": 1, "delay_bias": 0.0},
+    {"seed": 7, "effort": 3, "delay_bias": 1.0, "xor_probability": 0.9},
+]
+
+
+def _resynth_digest(technique, seed, recipe):
+    """SHA-256 of the resynthesized locked netlist's bench text."""
+    locked = build_locked_circuit(technique, seed=seed, n_inputs=8,
+                                  n_gates=30, key_width=4)
+    out = resynthesize(locked.circuit, **recipe)
+    return hashlib.sha256(write_bench(out).encode()).hexdigest()
+
+
+def _prep_payload_digest(circuit_name, technique):
+    """SHA-256 of the canonical prep-store payload for one preparation."""
+    from repro.experiments.harness import _prep_key, _store_params, prepare_locked
+    from repro.experiments.prepstore import serialize_prepared
+
+    prepared = prepare_locked(circuit_name, technique, scale="tiny",
+                              cache=False, store=False)
+    key = _prep_key(circuit_name, technique, "tiny", 0, 1, True, None)
+    payload = serialize_prepared(prepared, _store_params(key))
+    payload["prep_elapsed"] = 0.0  # the only legitimately varying field
+    blob = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# Child entry points must be module-level so spawn contexts can import
+# them by qualified name.
+
+def _child_resynth(args, queue):
+    queue.put(_resynth_digest(*args))
+
+
+def _child_prep(args, queue):
+    queue.put(_prep_payload_digest(*args))
+
+
+def _run_in_child(ctx_name, target, args):
+    if ctx_name not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"start method {ctx_name!r} unavailable")
+    ctx = multiprocessing.get_context(ctx_name)
+    queue = ctx.Queue()
+    proc = ctx.Process(target=target, args=(args, queue))
+    proc.start()
+    try:
+        digest = queue.get(timeout=120)
+    finally:
+        proc.join(10)
+        if proc.is_alive():
+            proc.kill()
+    return digest
+
+
+@pytest.mark.parametrize("recipe", RECIPES, ids=lambda r: f"seed{r['seed']}e{r['effort']}")
+@pytest.mark.parametrize("technique", ["sarlock", "ttlock"])
+def test_resynth_repeatable_in_process(technique, recipe):
+    assert _resynth_digest(technique, 3, recipe) == _resynth_digest(
+        technique, 3, recipe
+    )
+
+
+def test_resynth_differs_across_seeds():
+    """Sanity: the digest is sensitive to the synthesis seed."""
+    a = _resynth_digest("sarlock", 3, {"seed": 1, "effort": 2})
+    b = _resynth_digest("sarlock", 3, {"seed": 2, "effort": 2})
+    assert a != b
+
+
+def test_resynth_independent_of_caller_rng_state():
+    """Global RNG state in the caller must not leak into the result."""
+    recipe = {"seed": 5, "effort": 2}
+    baseline = _resynth_digest("sarlock", 3, recipe)
+    random.seed(987654321)
+    random.random()
+    assert _resynth_digest("sarlock", 3, recipe) == baseline
+
+
+@pytest.mark.parametrize("ctx_name", ["fork", "spawn"])
+def test_resynth_bit_identical_across_process_contexts(ctx_name):
+    recipe = {"seed": 1, "effort": 2}
+    parent = _resynth_digest("sarlock", 3, recipe)
+    child = _run_in_child(ctx_name, _child_resynth, ("sarlock", 3, recipe))
+    assert child == parent
+
+
+@pytest.mark.parametrize("ctx_name", ["fork", "spawn"])
+def test_prep_store_payload_identical_across_process_contexts(ctx_name):
+    parent = _prep_payload_digest("c6288", "sarlock")
+    child = _run_in_child(ctx_name, _child_prep, ("c6288", "sarlock"))
+    assert child == parent
+
+
+def test_prep_payload_repeatable_and_content_addressed():
+    from repro.experiments.harness import _prep_key, _store_params
+    from repro.experiments.prepstore import store_key
+
+    assert _prep_payload_digest("c6288", "sarlock") == _prep_payload_digest(
+        "c6288", "sarlock"
+    )
+    # The content hash separates preparations that differ in any input.
+    base = store_key(_store_params(
+        _prep_key("c6288", "sarlock", "tiny", 0, 1, True, None)))
+    other = store_key(_store_params(
+        _prep_key("c6288", "sarlock", "tiny", 0, 2, True, None)))
+    assert base != other
+
+
+def test_host_generation_deterministic():
+    """The upstream host generator feeding preparations is seeded too."""
+    a = build_random_circuit(seed=4)
+    b = build_random_circuit(seed=4)
+    assert write_bench(a) == write_bench(b)
