@@ -15,6 +15,18 @@ trajectory to beat.  Three sections:
   Records propagations/sec and conflicts/sec for both.
 * **kratt_flow** — end-to-end ``kratt_ol_attack`` / ``kratt_og_attack``
   wall time on locked registry hosts.
+* **native_eval** — the native (C) backend versus the exec-compiled
+  Python engine on the verify/SCOPE-shaped workload: single-output
+  self-miter sweeps, where gate compute dominates the language-boundary
+  traffic.  Rows must be bit-identical; the section is skipped (and
+  recorded as such) on hosts without a C toolchain or with
+  ``REPRO_NATIVE=0``.
+* **autotune** — measures gate-evals/s across sweep chunk widths for
+  each available backend (``repro.netlist.tune``) and persists this
+  host's profile under ``benchmarks/results/tune/``.
+* **solver_reuse** — CEGAR-style repeated assumption solves on one
+  incremental solver (warm watch lists / learned-clause arena) versus
+  the seed-revision baseline driven identically.
 * **scope_sweep** — the SCOPE per-key sweep with the structural memo
   (cone walks + pinned features, ``repro.netlist.cone``) disabled (cold)
   versus enabled (warm); guesses must be identical and the warm sweep is
@@ -71,6 +83,8 @@ CHUNK_BITS = 13
 
 
 def bench_evaluation(circuits, sweep_bits, repeat):
+    from repro.netlist.engine import CompiledCircuit
+
     rows = []
     for name in circuits:
         circuit = generate_host(name)
@@ -86,7 +100,10 @@ def bench_evaluation(circuits, sweep_bits, repeat):
             lambda: circuit.evaluate_interpreted(assignment, mask, outputs_only=True),
             repeat,
         )
-        engine = circuit.compiled()
+        # Pin the native backend off: this section tracks the
+        # exec-compiled Python engine's trajectory; bench_native_eval
+        # owns the native-vs-python comparison.
+        engine = CompiledCircuit(circuit, native=False)
         # Warm past the lazy-codegen threshold so the timed reps measure
         # the compiled kernels, not the interpreted warmup runs.
         for _ in range(3):
@@ -112,6 +129,151 @@ def bench_evaluation(circuits, sweep_bits, repeat):
             }
         )
     return rows
+
+
+def bench_native_eval(circuits, repeat):
+    """Native C engine vs the Python engine on single-output miter sweeps.
+
+    The workload is the shape verify and the KRATT removal/SCOPE stages
+    hammer: a gate-heavy netlist observed through one output (a
+    self-miter here), swept exhaustively.  Gate compute dominates, so
+    the native backend's advantage is visible instead of being hidden
+    under bigint<->bytes boundary traffic (output-heavy truth-table
+    materialization is intentionally *not* this section — the cost model
+    in repro.netlist.engine keeps such circuits on the Python kernels).
+    """
+    from repro.netlist.engine import CompiledCircuit
+    from repro.netlist.native import last_error, native_available
+
+    if not native_available():
+        return [], last_error() or "native backend unavailable"
+
+    rows = []
+    for name in circuits:
+        circuit = generate_host(name)
+        miter = build_miter(circuit, circuit, share_common=False)
+        sub = list(miter.inputs)[: min(CHUNK_BITS, len(miter.inputs))]
+        patterns = 1 << len(sub)
+
+        python_engine = CompiledCircuit(miter, native=False)
+        python_s, python_out = best_of(
+            lambda: python_engine.exhaustive_outputs(sub, chunk_bits=CHUNK_BITS)[0],
+            max(3, repeat),
+        )
+        native_engine = CompiledCircuit(miter, native=True)
+        if not native_engine.ensure_native(force=True):
+            return rows, last_error() or "native bind failed"
+        native_engine.exhaustive_outputs(sub, chunk_bits=CHUNK_BITS)  # warm
+        native_s, native_out = best_of(
+            lambda: native_engine.exhaustive_outputs(sub, chunk_bits=CHUNK_BITS)[0],
+            max(3, repeat),
+        )
+        gate_evals = miter.num_gates * patterns
+        rows.append(
+            {
+                "circuit": name,
+                "gates": miter.num_gates,
+                "swept_inputs": len(sub),
+                "patterns": patterns,
+                "python_s": python_s,
+                "native_s": native_s,
+                "speedup": python_s / native_s if native_s else float("inf"),
+                "python_gate_evals_per_s": rate(gate_evals, python_s),
+                "native_gate_evals_per_s": rate(gate_evals, native_s),
+                "bit_identical": python_out == native_out,
+            }
+        )
+    return rows, None
+
+
+def bench_autotune(budget_s=1.5):
+    """Measure and persist this host's chunk-width/backend profile."""
+    from repro.netlist import tune
+
+    profile = tune.measure_profile(budget_s=budget_s)
+    path = tune.save_profile(profile)
+    tune.clear_cached_profile()
+    rows = []
+    for backend, rates in sorted(profile["results"].items()):
+        best_bits = profile["chosen"][backend]
+        rows.append(
+            {
+                "backend": backend,
+                "chosen_chunk_bits": best_bits,
+                "best_gate_evals_per_s": rates[str(best_bits)],
+                "rates": rates,
+            }
+        )
+    return {
+        "rows": rows,
+        "profile_path": path,
+        "measure_seconds": profile["measure_seconds"],
+    }
+
+
+def bench_solver_reuse(circuits, rounds=24, repeat=3):
+    """CEGAR-style assumption probes: warm incremental solver vs seed.
+
+    One solver per backend ingests the self-miter CNF once, then runs
+    ``rounds`` solve-under-assumptions probes (each pinning two inputs),
+    the call pattern the QBF CEGAR loop and SCOPE windows generate.  The
+    overhauled solver keeps watch lists, conflict-analysis marks, and
+    the learned-clause arena warm across calls.
+    """
+    import random as _random
+
+    num_vars, clauses = _miter_instance(circuits[0])
+    rng = _random.Random("solver-reuse")
+    probes = [
+        (rng.randrange(1, num_vars + 1), rng.randrange(1, num_vars + 1))
+        for _ in range(rounds)
+    ]
+
+    def run(factory):
+        best = None
+        for _ in range(max(1, repeat)):
+            solver = factory()
+            solver.ensure_vars(num_vars)
+            for clause in clauses:
+                solver.add_clause(clause)
+            statuses = []
+            with Timer() as t:
+                for a, b in probes:
+                    statuses.append(
+                        solver.solve((a, -b), max_conflicts=4000)
+                    )
+            if best is None or t.elapsed < best["elapsed_s"]:
+                best = {
+                    "elapsed_s": t.elapsed,
+                    "statuses": statuses,
+                    "propagations": solver.propagations,
+                    "props_per_s": rate(solver.propagations, t.elapsed),
+                }
+        return best
+
+    current = run(Solver)
+    legacy = run(legacy_solver.Solver)
+    return {
+        "instance": f"self-miter-{circuits[0]}",
+        "rounds": rounds,
+        "current": {k: v for k, v in current.items() if k != "statuses"},
+        "legacy": {k: v for k, v in legacy.items() if k != "statuses"},
+        "status_agreement": current["statuses"] == legacy["statuses"],
+        # The headline is the propagation *rate* ratio: the two solvers
+        # take different search trajectories on the probe sequence (VSIDS
+        # details differ), so total wall time confounds hot-path
+        # efficiency with exploration luck; props/s does not.
+        "prop_rate_ratio": (
+            current["props_per_s"] / legacy["props_per_s"]
+            if legacy["props_per_s"]
+            else float("inf")
+        ),
+        "speedup": (
+            legacy["elapsed_s"] / current["elapsed_s"]
+            if current["elapsed_s"]
+            else float("inf")
+        ),
+    }
 
 
 def _random_3sat(num_vars, seed, ratio=4.2):
@@ -349,6 +511,21 @@ def main(argv=None):
             f"({row['engine_gate_evals_per_s']:.3g} gate-evals/s, "
             f"bit_identical={row['bit_identical']})"
         )
+    native_eval, native_skip = bench_native_eval(circuits, args.repeat)
+    for row in native_eval:
+        print(
+            f"  native {row['circuit']:>8}: {row['speedup']:5.1f}x "
+            f"({row['native_gate_evals_per_s']:.3g} gate-evals/s, "
+            f"bit_identical={row['bit_identical']})"
+        )
+    if native_skip:
+        print(f"  native section skipped: {native_skip}")
+    autotune = bench_autotune()
+    for row in autotune["rows"]:
+        print(
+            f"  tune {row['backend']:>8}: chunk_bits={row['chosen_chunk_bits']} "
+            f"({row['best_gate_evals_per_s']:.3g} gate-evals/s)"
+        )
     solver = bench_solver(circuits, sat_vars, repeat=args.repeat)
     for row in solver:
         print(
@@ -357,6 +534,12 @@ def main(argv=None):
             f"{row['legacy']['props_per_s']:.3g} "
             f"({row['prop_rate_ratio']:.2f}x)"
         )
+    solver_reuse = bench_solver_reuse(circuits, repeat=args.repeat)
+    print(
+        f"  sat-reuse {solver_reuse['rounds']} probes: props/s "
+        f"{solver_reuse['prop_rate_ratio']:.2f}x vs seed "
+        f"(agreement={solver_reuse['status_agreement']})"
+    )
     flow = [] if args.skip_flow else bench_kratt_flow(circuits)
     for row in flow:
         print(
@@ -380,20 +563,38 @@ def main(argv=None):
 
     payload = {
         "bench": "micro",
-        "schema_version": 1,
+        "schema_version": 2,
         "scale": scale,
         "evaluation": evaluation,
+        "native_eval": native_eval,
+        "native_eval_skipped": native_skip,
+        "autotune": autotune,
         "solver": solver,
+        "solver_reuse": solver_reuse,
         "kratt_flow": flow,
         "scope_sweep": scope_sweep,
         "prep_store": prep_store,
         "summary": {
             "eval_min_speedup": min(r["speedup"] for r in evaluation),
             "eval_all_bit_identical": all(r["bit_identical"] for r in evaluation),
+            "native_min_speedup": (
+                min(r["speedup"] for r in native_eval) if native_eval else None
+            ),
+            "native_all_bit_identical": (
+                all(r["bit_identical"] for r in native_eval)
+                if native_eval
+                else None
+            ),
+            "autotune_chosen": {
+                row["backend"]: row["chosen_chunk_bits"]
+                for row in autotune["rows"]
+            },
             "solver_min_prop_rate_ratio": min(
                 r["prop_rate_ratio"] for r in solver
             ),
             "solver_status_agreement": all(r["status_agreement"] for r in solver),
+            "solver_reuse_prop_rate_ratio": solver_reuse["prop_rate_ratio"],
+            "solver_reuse_status_agreement": solver_reuse["status_agreement"],
             "scope_sweep_min_speedup": min(r["speedup"] for r in scope_sweep),
             "scope_sweep_guesses_identical": all(
                 r["guesses_identical"] for r in scope_sweep
@@ -413,8 +614,14 @@ def main(argv=None):
     if not payload["summary"]["eval_all_bit_identical"]:
         print("FATAL: engine results differ from the reference interpreter")
         return 1
+    if payload["summary"]["native_all_bit_identical"] is False:
+        print("FATAL: native backend results differ from the Python engine")
+        return 1
     if not payload["summary"]["solver_status_agreement"]:
         print("FATAL: overhauled solver disagrees with the baseline solver")
+        return 1
+    if not payload["summary"]["solver_reuse_status_agreement"]:
+        print("FATAL: incremental solver reuse changed solve outcomes")
         return 1
     if not payload["summary"]["scope_sweep_guesses_identical"]:
         print("FATAL: memoized SCOPE sweep changed the guesses")

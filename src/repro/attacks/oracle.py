@@ -65,6 +65,10 @@ class Oracle:
         if not patterns:
             return []
         engine = self._circuit.compiled()
+        # An oracle is queried for the whole life of an attack: let the
+        # native backend engage now (its cost model still applies) rather
+        # than after the organic run threshold.
+        engine.ensure_native()
         words, mask = engine.pack_input_words(patterns, default=defaults)
         self.query_count += len(patterns)
         out_words = engine.output_words_from_list(words, mask)

@@ -71,6 +71,10 @@ def _pinned_features(
         region = transitive_fanout(circuit, [key], include_sources=False)
     pinned, _ = propagate_constants(circuit, {key: bool(value)})
     pinned, _ = dead_code_eliminate(pinned)
+    # The pinned copy is evaluated once or twice (observation screen +
+    # power proxy) and discarded: mark it ephemeral so its engine never
+    # spends kernel codegen or a native-backend bind on it.
+    pinned.mark_ephemeral()
     if use_implications:
         # Top-down over the affected region: locking-unit merge points sit
         # near the outputs and collapse first.
@@ -87,6 +91,7 @@ def _pinned_features(
                 observations=observations,
                 time_limit=deadline,
             )
+            pinned.mark_ephemeral()  # simplified copy is throwaway too
     return circuit_features(pinned, power_patterns=power_patterns)
 
 

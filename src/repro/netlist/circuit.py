@@ -39,6 +39,7 @@ class Circuit:
         self._compiled_cache = None
         self._epoch = 0
         self._analysis_cache = {}
+        self._ephemeral = False
 
     # ------------------------------------------------------------------
     # construction
@@ -278,6 +279,18 @@ class Circuit:
     # ------------------------------------------------------------------
     # evaluation
     # ------------------------------------------------------------------
+    def mark_ephemeral(self):
+        """Hint that this circuit is throwaway (evaluated a handful of
+        times, then discarded — SCOPE's pinned copies are the canonical
+        case).  Its compiled engine then skips Python kernel codegen
+        *and* native compilation outright, both of which only amortize
+        over repeated evaluation this circuit will never see.  Returns
+        ``self`` for chaining.
+        """
+        self._ephemeral = True
+        self._compiled_cache = None
+        return self
+
     def compiled(self):
         """The cached :class:`~repro.netlist.engine.CompiledCircuit`.
 
@@ -288,7 +301,12 @@ class Circuit:
         if self._compiled_cache is None:
             from .engine import CompiledCircuit
 
-            self._compiled_cache = CompiledCircuit(self)
+            if self._ephemeral:
+                self._compiled_cache = CompiledCircuit(
+                    self, codegen=False, native=False
+                )
+            else:
+                self._compiled_cache = CompiledCircuit(self)
         return self._compiled_cache
 
     def evaluate(self, assignment, mask=1, outputs_only=False):

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 
-from .engine import DEFAULT_CHUNK_BITS, MAX_EXHAUSTIVE_INPUTS
+from .engine import MAX_EXHAUSTIVE_INPUTS
 
 __all__ = [
     "exhaustive_patterns",
@@ -124,13 +124,15 @@ def simulate_patterns(circuit, patterns, defaults=None):
     ]
 
 
-def simulate_exhaustive(circuit, chunk_bits=DEFAULT_CHUNK_BITS):
+def simulate_exhaustive(circuit, chunk_bits=None):
     """Truth table of the circuit: list of output tuples, input-index order.
 
     Entry ``j`` is the output tuple when input ``i`` carries bit ``i`` of
     ``j`` (inputs in declaration order).  Only for small input counts.
     The sweep runs through the compiled engine in ``2**chunk_bits``-
-    pattern chunks, so wide sweeps never materialize a ``2**n``-bit word.
+    pattern chunks (default: the per-host tuned width, see
+    :mod:`repro.netlist.tune`), so wide sweeps never materialize a
+    ``2**n``-bit word.
     """
     n = len(circuit.inputs)
     # Checked before the 2**n-entry table allocation below — the engine's

@@ -1,0 +1,276 @@
+"""Per-host sweep autotuning: chunk width and backend selection.
+
+The engine splits exhaustive sweeps into ``2**chunk_bits``-pattern
+chunks so simulation words stay cache-sized.  The historical default
+(``DEFAULT_CHUNK_BITS = 13``, 1 KiB per signal) was tuned on one
+machine; the sweet spot actually depends on cache sizes, the bigint
+implementation, and whether the native backend (64-bit lanes in C) or
+the Python bigint kernels are doing the work.  This module measures it
+*on the host that will run the sweeps* and persists the result.
+
+A **profile** is one JSON document per host fingerprint (python version,
+implementation, machine, CPU count, compiler availability) holding
+measured gate-evals/s per ``(backend, chunk_bits)`` and the chosen
+width per backend.  Profiles live under ``benchmarks/results/tune/``
+(override: ``REPRO_TUNE_DIR``) and are published atomically (tmp +
+``os.replace``), the same pattern as the prep store, so concurrent
+first-use workers race benignly.
+
+Resolution order for :func:`effective_chunk_bits`:
+
+1. the in-process cache (one disk read per process);
+2. a persisted profile for this host fingerprint;
+3. if ``REPRO_AUTOTUNE=1``, measure now (a few hundred ms), persist,
+   and use the result;
+4. otherwise the static :data:`~repro.netlist.engine.DEFAULT_CHUNK_BITS`.
+
+Implicit measurement is opt-in (step 3) so test processes and one-shot
+CLI invocations never pay a tuning pause; ``repro tune`` runs the
+measurement explicitly and every later process (any knob state) then
+picks the profile up from disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from .circuit import Circuit
+from .engine import DEFAULT_CHUNK_BITS
+
+__all__ = [
+    "DEFAULT_TUNE_DIR",
+    "PROFILE_VERSION",
+    "CANDIDATE_CHUNK_BITS",
+    "host_fingerprint",
+    "profile_path",
+    "load_profile",
+    "save_profile",
+    "measure_profile",
+    "effective_chunk_bits",
+    "clear_cached_profile",
+    "tuning_circuit",
+]
+
+#: Bumped when the profile schema or measurement methodology changes;
+#: mismatched on-disk profiles are ignored (and re-measured or defaulted).
+PROFILE_VERSION = 1
+
+#: Chunk widths the tuner sweeps.  2**10..2**16 patterns spans 128 B to
+#: 8 KiB per signal word — below, per-chunk overhead dominates; above,
+#: words fall out of L1/L2 and bigint carries get expensive.
+CANDIDATE_CHUNK_BITS = (10, 11, 12, 13, 14, 15, 16)
+
+DEFAULT_TUNE_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))),
+    "benchmarks", "results", "tune",
+)
+
+_CACHED = None  # (fingerprint_digest, profile dict | None)
+
+
+def _tune_dir():
+    return os.environ.get("REPRO_TUNE_DIR") or DEFAULT_TUNE_DIR
+
+
+def host_fingerprint():
+    """Stable identity of this host for profile keying."""
+    import platform
+    import sys
+
+    from .native import native_available
+
+    return {
+        "python": sys.version.split()[0],
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "native": bool(native_available()),
+    }
+
+
+def _fingerprint_digest(fingerprint):
+    import hashlib
+
+    blob = json.dumps(fingerprint, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def profile_path(fingerprint=None):
+    """Path the profile for ``fingerprint`` (default: this host) lives at."""
+    fingerprint = fingerprint or host_fingerprint()
+    return os.path.join(
+        _tune_dir(), f"profile-{_fingerprint_digest(fingerprint)}.json"
+    )
+
+
+def tuning_circuit(n_inputs=16, n_layers=18):
+    """Deterministic layered netlist the measurements run on.
+
+    Built inline (no benchgen dependency) so tuning never depends on the
+    scale knobs: alternating AND/XOR/OR/NAND layers over a shifting
+    window, ~``n_inputs * n_layers`` gates, every input in the support.
+    """
+    circuit = Circuit("tune_host")
+    prev = [circuit.add_input(f"t{i}") for i in range(n_inputs)]
+    kinds = ("AND", "XOR", "OR", "NAND")
+    for layer in range(n_layers):
+        kind = kinds[layer % len(kinds)]
+        nxt = []
+        for i in range(n_inputs):
+            name = f"l{layer}_{i}"
+            a = prev[i]
+            b = prev[(i + 1 + layer) % n_inputs]
+            circuit.add_gate(name, kind, (a, b))
+            nxt.append(name)
+        prev = nxt
+    circuit.set_outputs(prev[: max(2, n_inputs // 4)])
+    circuit.validate()
+    return circuit
+
+
+def _measure_backend(engine, names, chunk_bits, repeats):
+    """Best-of sweep seconds for one (engine-state, chunk width)."""
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _chunk in engine.sweep_exhaustive(names, chunk_bits=chunk_bits):
+            pass
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def measure_profile(budget_s=2.0, circuit=None, candidates=None):
+    """Measure gate-evals/s across chunk widths and backends.
+
+    Returns the profile dict (not yet persisted).  ``budget_s`` bounds
+    the whole measurement loosely: repeats shrink as it is spent.
+    """
+    from .engine import CompiledCircuit
+    from .native import native_available
+
+    circuit = circuit or tuning_circuit()
+    candidates = tuple(candidates or CANDIDATE_CHUNK_BITS)
+    names = list(circuit.inputs)
+    sweep_bits = min(len(names), max(candidates))
+    names = names[:sweep_bits]
+    total_evals = circuit.num_gates * (1 << sweep_bits)
+
+    backends = ["python"]
+    if native_available():
+        backends.append("native")
+
+    started = time.perf_counter()
+    results = {}
+    chosen = {}
+    for backend in backends:
+        if backend == "python":
+            engine = CompiledCircuit(circuit, native=False)
+            # Warm past the lazy-codegen threshold.
+            for _ in range(CompiledCircuit._COMPILE_AFTER_RUNS + 1):
+                engine.evaluate({n: 0 for n in circuit.inputs}, 1)
+        else:
+            engine = CompiledCircuit(circuit, native=True)
+            if not engine.ensure_native(force=True):
+                continue
+        rates = {}
+        for bits in candidates:
+            if bits > sweep_bits:
+                continue
+            remaining = budget_s - (time.perf_counter() - started)
+            repeats = 2 if remaining > budget_s * 0.25 else 1
+            seconds = _measure_backend(engine, names, bits, repeats)
+            rates[str(bits)] = total_evals / seconds if seconds > 0 else 0.0
+        if rates:
+            results[backend] = rates
+            chosen[backend] = int(max(rates, key=lambda k: rates[k]))
+
+    return {
+        "version": PROFILE_VERSION,
+        "host": host_fingerprint(),
+        "sweep_bits": sweep_bits,
+        "gates": circuit.num_gates,
+        "results": results,
+        "chosen": chosen,
+        "generated_at": time.time(),
+        "measure_seconds": time.perf_counter() - started,
+    }
+
+
+def save_profile(profile, path=None):
+    """Atomically publish a profile; returns the path (or None on I/O error)."""
+    path = path or profile_path(profile.get("host"))
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(tmp, "w") as handle:
+            json.dump(profile, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return None
+    return path
+
+
+def load_profile(path=None):
+    """Profile for this host from disk, or ``None`` (any failure = miss)."""
+    path = path or profile_path()
+    try:
+        with open(path) as handle:
+            profile = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if profile.get("version") != PROFILE_VERSION:
+        return None
+    if not isinstance(profile.get("chosen"), dict):
+        return None
+    return profile
+
+
+def clear_cached_profile():
+    """Drop the in-process profile cache (tests, ``repro tune --force``)."""
+    global _CACHED
+    _CACHED = None
+
+
+def _current_profile():
+    """Cached profile lookup honoring env changes to the tune dir."""
+    global _CACHED
+    key = (_tune_dir(), _fingerprint_digest(host_fingerprint()))
+    if _CACHED is not None and _CACHED[0] == key:
+        return _CACHED[1]
+    profile = load_profile()
+    if profile is None and os.environ.get("REPRO_AUTOTUNE") == "1":
+        profile = measure_profile(budget_s=1.0)
+        save_profile(profile)
+    _CACHED = (key, profile)
+    return profile
+
+
+def effective_chunk_bits(backend="python"):
+    """The tuned chunk width for ``backend`` on this host.
+
+    Falls back to :data:`~repro.netlist.engine.DEFAULT_CHUNK_BITS` when
+    no profile exists (and implicit tuning is not opted into), when the
+    profile lacks the backend, or when anything on disk is unreadable.
+    """
+    profile = _current_profile()
+    if profile is None:
+        return DEFAULT_CHUNK_BITS
+    chosen = profile.get("chosen", {})
+    bits = chosen.get(backend)
+    if bits is None and backend == "native":
+        bits = chosen.get("python")
+    try:
+        bits = int(bits)
+    except (TypeError, ValueError):
+        return DEFAULT_CHUNK_BITS
+    return bits if 4 <= bits <= 20 else DEFAULT_CHUNK_BITS

@@ -55,12 +55,25 @@ def rate(count, seconds):
 
 
 def environment_info():
-    """Interpreter/platform metadata stamped into every bench report."""
+    """Interpreter/platform metadata stamped into every bench report.
+
+    Includes the CPU count and the native-backend compiler state so two
+    ``BENCH_*.json`` files are comparable: a native-vs-python delta means
+    nothing without knowing whether the host even had a toolchain.
+    """
+    import os
+
+    from .netlist.native import compiler_info
+
+    cc = compiler_info()
     return {
         "python": sys.version.split()[0],
         "implementation": platform.python_implementation(),
         "platform": platform.platform(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "cc": cc["cc"],
+        "native_available": cc["available"],
     }
 
 

@@ -21,13 +21,41 @@ for property tests against brute force.
 from __future__ import annotations
 
 import itertools
+import logging
+import os
 
 from ..budget import Deadline
 from ..sat.solver import Solver
 from ..sat.tseitin import encode_into_solver
 from .formula import EXISTS, FORALL, QBF
 
-__all__ = ["QBFResult", "solve_exists_forall_circuit", "solve_2qbf", "circuit_to_qbf"]
+__all__ = [
+    "QBFResult",
+    "solve_exists_forall_circuit",
+    "solve_2qbf",
+    "circuit_to_qbf",
+    "DOMINATOR_ROOT_CAP",
+]
+
+_LOG = logging.getLogger(__name__)
+
+#: Upper bound on how many key-only roots the dominator-constant probe
+#: examines (two SAT calls each, deepest cones first).  Override per run
+#: with ``REPRO_QBF_ROOT_CAP``; when roots are dropped the solver logs
+#: how many, so the cap is never silent.
+DOMINATOR_ROOT_CAP = 48
+
+
+def _dominator_root_cap():
+    raw = os.environ.get("REPRO_QBF_ROOT_CAP")
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            _LOG.warning(
+                "ignoring non-integer REPRO_QBF_ROOT_CAP=%r", raw
+            )
+    return DOMINATOR_ROOT_CAP
 
 
 class QBFResult:
@@ -192,7 +220,14 @@ def solve_exists_forall_circuit(
     roots.sort(key=lambda n: -levels[n])
     verifier_vars = {name: out_vars[name] for name in roots if name in out_vars}
     iterations = 0
-    for root in roots[:48]:
+    root_cap = _dominator_root_cap()
+    if len(roots) > root_cap:
+        _LOG.info(
+            "dominator-constant probe: examining %d of %d key-only roots "
+            "(raise REPRO_QBF_ROOT_CAP to probe more)",
+            root_cap, len(roots),
+        )
+    for root in roots[:root_cap]:
         rv_ver = verifier_vars.get(root)
         if rv_ver is None:
             continue
@@ -300,7 +335,10 @@ def solve_2qbf(qbf, max_universals=20, time_limit=None):
     deadline = Deadline.of(time_limit)
     start = deadline.now()
     if deadline.expired():
-        return QBFResult(None, None, 0, 0.0)
+        # Report real elapsed time, consistent with every other return
+        # path (an already-spent shared Deadline arrives expired but the
+        # clock keeps moving).
+        return QBFResult(None, None, 0, deadline.now() - start)
     blocks = qbf.prefix
     if not blocks or blocks[0][0] != EXISTS:
         # Tolerate a leading universal block by prepending an empty E block.

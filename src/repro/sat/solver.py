@@ -16,6 +16,19 @@ clause checked before the clause is touched at all — most watch visits
 end there), and propagation compacts each watch list in place with a
 read/write cursor instead of rebuilding it.
 
+Allocation discipline: the hot loops reuse memory instead of
+reallocating it.  Watch entries are two-slot lists that *migrate*
+between watch lists (a watched-literal move rewrites the entry in place
+and appends the same object elsewhere — zero allocations per
+propagation step); conflict analysis marks variables in one persistent
+``seen`` byte array (cleared via the learnt clause, not reallocated per
+conflict — the per-conflict ``[False] * num_vars`` list this replaces
+dominated analysis time on large instances); and the learned-clause
+arena — clause activities and the database limit — survives across
+``solve()`` calls, so the assumption-driven call patterns the attacks
+generate (CEGAR refinement, SCOPE windows, DIP mining) keep their
+learned heat instead of re-deriving it every call.
+
 ``solve`` returns one of three values:
 
 * ``True``   — satisfiable; :meth:`model` yields a satisfying assignment;
@@ -107,6 +120,9 @@ class Solver:
         self._ok = True
         self._deadline = None  # active Deadline while inside solve()
         self._budget_hit = False  # set by _propagate on deadline expiry
+        self._seen = bytearray(1)  # conflict-analysis marks, by var
+        self._clause_act = {}  # id(learnt clause) -> activity, warm
+        self._max_learnts = 0  # learned-DB limit, grows monotonically
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
@@ -124,6 +140,7 @@ class Solver:
         self._reason.append(None)
         self._activity.append(0.0)
         self._phase.append(0)
+        self._seen.append(0)
         self._watches.append([])
         self._watches.append([])
         return self._num_vars
@@ -211,9 +228,12 @@ class Solver:
     def _attach(self, clause):
         # watches[l] is visited when l becomes TRUE; a clause watching
         # literal w must be visited when ~w becomes true, hence the ^1.
-        # The co-watched literal rides along as the blocker.
-        self._watches[clause[0] ^ 1].append((clause[1], clause))
-        self._watches[clause[1] ^ 1].append((clause[0], clause))
+        # The co-watched literal rides along as the blocker.  Entries are
+        # two-slot *lists*: propagation refreshes blockers and migrates
+        # watchers by mutating the entry in place instead of allocating
+        # a replacement tuple.
+        self._watches[clause[0] ^ 1].append([clause[1], clause])
+        self._watches[clause[1] ^ 1].append([clause[0], clause])
 
     # ------------------------------------------------------------------
     # trail management
@@ -292,7 +312,8 @@ class Solver:
                 first = clause[0]
                 fv = assign[first >> 1]
                 if fv >= 0 and fv != first & 1:
-                    wl[j] = (first, clause)
+                    entry[0] = first
+                    wl[j] = entry
                     j += 1
                     continue
                 moved = False
@@ -302,12 +323,15 @@ class Solver:
                     if v < 0 or v != lk & 1:
                         clause[1] = lk
                         clause[k] = false_lit
-                        watches[lk ^ 1].append((first, clause))
+                        # Migrate the entry object to the new watch list.
+                        entry[0] = first
+                        watches[lk ^ 1].append(entry)
                         moved = True
                         break
                 if moved:
                     continue
-                wl[j] = (first, clause)
+                entry[0] = first
+                wl[j] = entry
                 j += 1
                 if fv >= 0:
                     # first is false: conflict.  Keep remaining watchers.
@@ -339,12 +363,16 @@ class Solver:
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
 
-    def _bump_clause(self, clause_act, clause):
+    def _bump_clause(self, clause):
+        clause_act = self._clause_act
         clause_act[id(clause)] = clause_act.get(id(clause), 0.0) + self._cla_inc
 
     def _analyze(self, conflict):
         learnt = [0]
-        seen = [False] * (self._num_vars + 1)
+        # Persistent mark array: only the entries set here are cleared at
+        # the end, so one conflict costs O(clause sizes) instead of the
+        # O(num_vars) a fresh list per conflict would.
+        seen = self._seen
         level = self._level
         counter = 0
         p = -1  # sentinel: first round analyzes the whole conflict clause
@@ -360,7 +388,7 @@ class Solver:
                     continue
                 var = q >> 1
                 if not seen[var] and level[var] > 0:
-                    seen[var] = True
+                    seen[var] = 1
                     self._bump_var(var)
                     if level[var] >= current_level:
                         counter += 1
@@ -370,7 +398,7 @@ class Solver:
                 index -= 1
             p = self._trail[index] ^ 1
             var = p >> 1
-            seen[var] = False
+            seen[var] = 0
             index -= 1
             counter -= 1
             if counter == 0:
@@ -379,19 +407,27 @@ class Solver:
         learnt[0] = p
 
         # Cheap clause minimization: drop literals implied by the rest.
+        # The still-set seen[] marks double as the membership test; the
+        # asserting literal's var is re-marked for the duration.
+        full = learnt
         if len(learnt) > 1:
-            marked = set(l >> 1 for l in learnt)
+            seen[learnt[0] >> 1] = 1
             kept = [learnt[0]]
             for q in learnt[1:]:
                 reason = self._reason[q >> 1]
                 if reason is not None and all(
-                    r >> 1 in marked or level[r >> 1] == 0
+                    seen[r >> 1] or level[r >> 1] == 0
                     for r in reason
                     if r != q ^ 1
                 ):
                     continue
                 kept.append(q)
             learnt = kept
+
+        # Clear every mark this conflict set (learnt tail + asserting var;
+        # current-level vars were unmarked by the trail walk above).
+        for q in full:
+            seen[q >> 1] = 0
 
         if len(learnt) == 1:
             bt_level = 0
@@ -419,15 +455,18 @@ class Solver:
         return None
 
     def _rebuild_heap(self):
-        self._order_heap = [
+        heap = self._order_heap
+        heap.clear()
+        heap.extend(
             (-self._activity[v], v)
             for v in range(1, self._num_vars + 1)
             if self._assign[v] == _UNASSIGNED
-        ]
-        self._order_heap.sort()
+        )
+        heap.sort()
 
-    def _reduce_db(self, clause_act):
+    def _reduce_db(self):
         """Throw away half of the least active learned clauses."""
+        clause_act = self._clause_act
         locked = set()
         for var in range(1, self._num_vars + 1):
             reason = self._reason[var]
@@ -445,6 +484,11 @@ class Solver:
         self._learnts = kept
         if removed:
             dead = set(id(c) for c in removed)
+            # Drop dead activity entries with the clauses: the arena is
+            # persistent now, and a recycled id() must not inherit a
+            # ghost's activity.
+            for clause_id in dead:
+                clause_act.pop(clause_id, None)
             for idx in range(2, len(self._watches)):
                 self._watches[idx] = [
                     entry for entry in self._watches[idx] if id(entry[1]) not in dead
@@ -497,8 +541,14 @@ class Solver:
             return None
 
         self._rebuild_heap()
-        clause_act = {}
-        max_learnts = max(1000, len(self._clauses) // 3)
+        # Warm learned-clause arena: the DB limit (like the clause
+        # activities) persists across solve() calls, so an incremental
+        # caller's learnt set is not re-thrashed from the initial limit
+        # on every assumption probe.
+        self._max_learnts = max(
+            self._max_learnts, 1000, len(self._clauses) // 3
+        )
+        max_learnts = self._max_learnts
         restart_round = 1
         restart_budget = 100 * luby(restart_round)
         conflicts_this_restart = 0
@@ -526,7 +576,7 @@ class Solver:
                 else:
                     self._learnts.append(learnt)
                     self._attach(learnt)
-                    self._bump_clause(clause_act, learnt)
+                    self._bump_clause(learnt)
                     self._enqueue(learnt[0], learnt)
                 self._var_inc *= self._var_decay
                 self._cla_inc *= self._cla_decay
@@ -548,8 +598,9 @@ class Solver:
                     conflicts_this_restart = 0
                     self._backtrack(0)
                 if len(self._learnts) > max_learnts:
-                    self._reduce_db(clause_act)
+                    self._reduce_db()
                     max_learnts = int(max_learnts * 1.2)
+                    self._max_learnts = max_learnts
                 continue
 
             # No conflict: extend the assignment.

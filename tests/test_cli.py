@@ -99,3 +99,35 @@ class TestOtherCommands:
         from repro.netlist import check_equivalent
 
         assert check_equivalent(host, recovered)[0] is True
+
+
+class TestTuneCommand:
+    def test_show_without_profile(self, tmp_path, monkeypatch, capsys):
+        from repro.netlist import tune
+
+        monkeypatch.setenv("REPRO_TUNE_DIR", str(tmp_path / "tune"))
+        tune.clear_cached_profile()
+        rc = main(["tune", "--show"])
+        assert rc == 2
+        assert "no profile" in capsys.readouterr().out
+
+    def test_measure_persist_and_reuse(self, tmp_path, monkeypatch, capsys):
+        from repro.netlist import tune
+
+        monkeypatch.setenv("REPRO_TUNE_DIR", str(tmp_path / "tune"))
+        tune.clear_cached_profile()
+        rc = main(["tune", "--budget", "0.2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out and "chosen" in out
+
+        # Second invocation reuses the persisted profile.
+        rc = main(["tune"])
+        assert rc == 0
+        assert "already present" in capsys.readouterr().out
+
+        rc = main(["tune", "--show"])
+        assert rc == 0
+        profile = json.loads(capsys.readouterr().out)
+        assert "python" in profile["chosen"]
+        tune.clear_cached_profile()

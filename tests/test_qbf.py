@@ -167,3 +167,85 @@ class TestCircuitCegar:
             expansion = solve_2qbf(q)
             if cegar.status is not None:
                 assert cegar.status == expansion.status
+
+
+class TestBudgetReporting:
+    def test_expired_budget_reports_real_elapsed(self):
+        """solve_2qbf's early return must not claim elapsed=0.0 when the
+        (shared) deadline arrived already spent."""
+        from repro.budget import Deadline
+        from repro.sat.cnf import CNF
+        from repro.qbf.formula import QBF
+
+        class SteppingClock:
+            def __init__(self):
+                self.t = 0.0
+
+            def __call__(self):
+                self.t += 0.25
+                return self.t
+
+        cnf = CNF()
+        v = cnf.new_var("v")
+        cnf.add_clause([v])
+        qbf = QBF(cnf)
+        qbf.add_block(EXISTS, [v])
+        qbf.close()
+
+        deadline = Deadline(0.1, clock=SteppingClock())
+        assert deadline.expired()
+        result = solve_2qbf(qbf, time_limit=deadline)
+        assert result.status is None
+        assert result.elapsed > 0.0
+
+
+class TestDominatorRootCap:
+    def _wide_unit(self, n_keys=6):
+        """Many independent key-only roots, each feeding a mixed gate.
+
+        Each ``r_i = NOT(k_i)`` fans out into ``AND(r_i, x)`` (impure),
+        so every ``r_i`` is a probe root.  With all keys 1 the output is
+        constant 0, so ``EXISTS k FORALL x . out == 0`` holds.
+        """
+        circuit = Circuit("caps")
+        keys = [circuit.add_input(f"k{i}") for i in range(n_keys)]
+        x = circuit.add_input("x")
+        mixed = []
+        for i, k in enumerate(keys):
+            root = circuit.add_gate(f"r{i}", "NOT", (k,))
+            mixed.append(circuit.add_gate(f"m{i}", "AND", (root, x)))
+        acc = mixed[0]
+        for i, m in enumerate(mixed[1:], 1):
+            acc = circuit.add_gate(f"o{i}", "OR", (acc, m))
+        circuit.add_gate("out", "BUFF", (acc,))
+        circuit.add_output("out")
+        circuit.validate()
+        return circuit, keys
+
+    def test_env_knob_caps_roots_and_logs(self, monkeypatch, caplog):
+        import logging
+
+        circuit, keys = self._wide_unit()
+        monkeypatch.setenv("REPRO_QBF_ROOT_CAP", "2")
+        with caplog.at_level(logging.INFO, logger="repro.qbf.solver"):
+            result = solve_exists_forall_circuit(
+                circuit, keys, ["x"], "out", 0
+            )
+        assert result.status is True
+        dropped = [r for r in caplog.records
+                   if "key-only roots" in r.getMessage()]
+        assert dropped, "dropping roots must be logged, never silent"
+
+    def test_bad_env_knob_falls_back_to_default(self, monkeypatch):
+        from repro.qbf import solver as qbf_solver
+
+        monkeypatch.setenv("REPRO_QBF_ROOT_CAP", "not-a-number")
+        assert qbf_solver._dominator_root_cap() == (
+            qbf_solver.DOMINATOR_ROOT_CAP
+        )
+        monkeypatch.setenv("REPRO_QBF_ROOT_CAP", "7")
+        assert qbf_solver._dominator_root_cap() == 7
+        monkeypatch.delenv("REPRO_QBF_ROOT_CAP")
+        assert qbf_solver._dominator_root_cap() == (
+            qbf_solver.DOMINATOR_ROOT_CAP
+        )

@@ -170,3 +170,103 @@ class TestSolveCnf:
         status, model = solve_cnf(cnf)
         assert status is True
         assert model[b] is True
+
+
+class TestAllocationReuse:
+    """The hot-loop reuse work must never change solver *answers*."""
+
+    def _random_instance(self, seed, n_vars=30, n_clauses=120):
+        import random
+
+        rng = random.Random(("alloc-reuse", seed).__str__())
+        clauses = []
+        for _ in range(n_clauses):
+            chosen = rng.sample(range(1, n_vars + 1), 3)
+            clauses.append([v if rng.random() < 0.5 else -v for v in chosen])
+        return n_vars, clauses
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_incremental_assumption_probes_match_fresh_solvers(self, seed):
+        """One warm solver across N probes == N cold solvers."""
+        import random
+
+        n_vars, clauses = self._random_instance(seed)
+        rng = random.Random(seed)
+        probes = [
+            (rng.randrange(1, n_vars + 1), rng.randrange(1, n_vars + 1))
+            for _ in range(12)
+        ]
+
+        warm = Solver()
+        warm.ensure_vars(n_vars)
+        for clause in clauses:
+            warm.add_clause(clause)
+        warm_statuses = [warm.solve((a, -b)) for a, b in probes]
+
+        cold_statuses = []
+        for a, b in probes:
+            cold = Solver()
+            cold.ensure_vars(n_vars)
+            for clause in clauses:
+                cold.add_clause(clause)
+            cold_statuses.append(cold.solve((a, -b)))
+        assert warm_statuses == cold_statuses
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_seen_array_is_clean_after_solving(self, seed):
+        """_analyze must fully clear its persistent mark array."""
+        n_vars, clauses = self._random_instance(seed)
+        solver = Solver()
+        solver.ensure_vars(n_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        for assumption in (3, -5, 7):
+            solver.solve((assumption,))
+            assert not any(solver._seen), "stale conflict-analysis marks"
+
+    def test_seen_array_tracks_new_vars(self):
+        solver = Solver()
+        solver.ensure_vars(17)
+        assert len(solver._seen) == len(solver._assign) == 18
+
+    def test_clause_activity_entries_die_with_their_clauses(self):
+        """reduce_db must drop activity entries for removed clauses (a
+        recycled id() must never inherit a ghost's activity)."""
+        n_vars, clauses = self._random_instance(0, n_vars=60, n_clauses=255)
+        solver = Solver()
+        solver.ensure_vars(n_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        solver.solve(max_conflicts=5000)
+        learnt_ids = {id(c) for c in solver._learnts}
+        assert set(solver._clause_act) <= learnt_ids
+
+    def test_watch_entries_are_reused_objects(self):
+        """Propagation migrates entry objects instead of reallocating."""
+        solver = Solver()
+        solver.ensure_vars(4)
+        solver.add_clause([1, 2, 3])
+        before = {
+            id(entry)
+            for watch_list in solver._watches
+            for entry in watch_list
+        }
+        assert solver.solve((-1, -2)) is True
+        after = {
+            id(entry)
+            for watch_list in solver._watches
+            for entry in watch_list
+        }
+        assert after == before
+
+    def test_learned_db_limit_persists_across_solves(self):
+        n_vars, clauses = self._random_instance(1, n_vars=60, n_clauses=255)
+        solver = Solver()
+        solver.ensure_vars(n_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        solver.solve(max_conflicts=4000)
+        grown = solver._max_learnts
+        assert grown >= 1000
+        solver.solve(max_conflicts=10)
+        assert solver._max_learnts >= grown

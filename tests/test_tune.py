@@ -1,0 +1,136 @@
+"""Autotune profiles: measurement, persistence, and resolution order.
+
+The tuner replaces the hardcoded sweep chunk width with a measured
+per-host profile; these tests pin the contract around it — profiles are
+versioned, atomic on disk, host-keyed, and every failure mode resolves
+to the static :data:`DEFAULT_CHUNK_BITS`.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.netlist import tune
+from repro.netlist.engine import DEFAULT_CHUNK_BITS
+
+
+@pytest.fixture
+def tune_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TUNE_DIR", str(tmp_path / "tune"))
+    monkeypatch.delenv("REPRO_AUTOTUNE", raising=False)
+    tune.clear_cached_profile()
+    yield str(tmp_path / "tune")
+    tune.clear_cached_profile()
+
+
+def _fast_profile():
+    """A cheap measurement: tiny circuit, two candidate widths."""
+    return tune.measure_profile(
+        budget_s=0.2,
+        circuit=tune.tuning_circuit(n_inputs=8, n_layers=4),
+        candidates=(4, 6),
+    )
+
+
+class TestMeasurement:
+    def test_profile_shape(self, tune_dir):
+        profile = _fast_profile()
+        assert profile["version"] == tune.PROFILE_VERSION
+        assert "python" in profile["results"]
+        assert profile["chosen"]["python"] in (4, 6)
+        for rates in profile["results"].values():
+            assert all(rate > 0 for rate in rates.values())
+
+    def test_tuning_circuit_is_deterministic(self):
+        a = tune.tuning_circuit()
+        b = tune.tuning_circuit()
+        assert list(a.topological_order()) == list(b.topological_order())
+        assert a.num_gates == b.num_gates > 0
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tune_dir):
+        profile = _fast_profile()
+        path = tune.save_profile(profile)
+        assert path and os.path.exists(path)
+        assert tune.load_profile(path) == json.load(open(path))
+
+    def test_load_rejects_wrong_version(self, tune_dir):
+        profile = _fast_profile()
+        profile["version"] = tune.PROFILE_VERSION + 1
+        path = tune.save_profile(profile)
+        assert tune.load_profile(path) is None
+
+    def test_load_rejects_garbage(self, tune_dir):
+        path = tune.profile_path()
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        assert tune.load_profile(path) is None
+
+    def test_no_tmp_left_behind(self, tune_dir):
+        tune.save_profile(_fast_profile())
+        directory = os.path.dirname(tune.profile_path())
+        assert [f for f in os.listdir(directory) if ".tmp." in f] == []
+
+    def test_profile_path_tracks_host_fingerprint(self, tune_dir):
+        other = dict(tune.host_fingerprint(), machine="not-this-machine")
+        assert tune.profile_path(other) != tune.profile_path()
+
+
+class TestResolution:
+    def test_default_without_profile(self, tune_dir):
+        assert tune.effective_chunk_bits("python") == DEFAULT_CHUNK_BITS
+        assert tune.effective_chunk_bits("native") == DEFAULT_CHUNK_BITS
+
+    def test_persisted_profile_wins(self, tune_dir):
+        profile = _fast_profile()
+        profile["chosen"] = {"python": 11, "native": 12}
+        tune.save_profile(profile)
+        tune.clear_cached_profile()
+        assert tune.effective_chunk_bits("python") == 11
+        assert tune.effective_chunk_bits("native") == 12
+
+    def test_native_falls_back_to_python_choice(self, tune_dir):
+        profile = _fast_profile()
+        profile["chosen"] = {"python": 12}
+        tune.save_profile(profile)
+        tune.clear_cached_profile()
+        assert tune.effective_chunk_bits("native") == 12
+
+    def test_out_of_range_choice_is_ignored(self, tune_dir):
+        profile = _fast_profile()
+        profile["chosen"] = {"python": 99}
+        tune.save_profile(profile)
+        tune.clear_cached_profile()
+        assert tune.effective_chunk_bits("python") == DEFAULT_CHUNK_BITS
+
+    def test_cache_tracks_env_dir_change(self, tune_dir, tmp_path,
+                                          monkeypatch):
+        profile = _fast_profile()
+        profile["chosen"] = {"python": 10}
+        tune.save_profile(profile)
+        tune.clear_cached_profile()
+        assert tune.effective_chunk_bits("python") == 10
+        monkeypatch.setenv("REPRO_TUNE_DIR", str(tmp_path / "elsewhere"))
+        assert tune.effective_chunk_bits("python") == DEFAULT_CHUNK_BITS
+
+    def test_opt_in_autotune_measures_on_first_use(self, tune_dir,
+                                                   monkeypatch):
+        monkeypatch.setenv("REPRO_AUTOTUNE", "1")
+        tune.clear_cached_profile()
+        bits = tune.effective_chunk_bits("python")
+        assert 4 <= bits <= 20
+        assert os.path.exists(tune.profile_path())
+
+
+def test_sweep_results_identical_across_chunk_widths(tune_dir):
+    """Tuning is pure partitioning: any chosen width is bit-identical."""
+    circuit = tune.tuning_circuit(n_inputs=8, n_layers=4)
+    reference = None
+    for bits in (4, 6, 8):
+        out, mask = circuit.compiled().exhaustive_outputs(chunk_bits=bits)
+        if reference is None:
+            reference = (out, mask)
+        assert (out, mask) == reference
