@@ -11,7 +11,11 @@ script driven on ``.bench`` files):
 * ``info``     — print netlist statistics;
 * ``gen``      — emit one of the registered benchmark stand-ins;
 * ``campaign`` — run/resume/inspect parallel attack campaigns over the
-  paper's (circuit x technique x attack) grid;
+  paper's (circuit x technique x attack) grid (``--backend=queue``
+  drains a durable work queue with lease recovery, retry/backoff and
+  poison-cell quarantine; ``retry`` requeues unhealthy cells);
+* ``worker`` — drain a campaign's durable work queue from this process
+  (run any number, on any host sharing the campaign directory);
 * ``prepstore`` — inspect or wipe the shared cross-campaign preparation
   store;
 * ``tune``     — measure and persist this host's simulation autotune
@@ -203,6 +207,18 @@ def _campaign_spec_from_args(args):
         spec.workers = args.workers
     if args.cell_timeout is not None:
         spec.cell_timeout = args.cell_timeout
+    if args.backend is not None:
+        spec.backend = args.backend
+    queue_overrides = {
+        "lease_ttl": args.lease_ttl,
+        "max_attempts": args.max_attempts,
+        "backoff_base": args.backoff_base,
+    }
+    for key, value in queue_overrides.items():
+        if value is not None:
+            spec.queue = dict(spec.queue, **{key: value})
+    # Re-validate the scheduling overrides (backend name, queue config).
+    spec.__post_init__()
     return spec
 
 
@@ -277,10 +293,36 @@ def _cmd_campaign_status(args):
     if status["timeouts"]:
         print(f"timed out: {', '.join(status['timeouts'][:8])}"
               + (" ..." if len(status["timeouts"]) > 8 else ""))
+    if status["poisoned"]:
+        print(f"poisoned: {', '.join(status['poisoned'][:8])}"
+              + (" ..." if len(status["poisoned"]) > 8 else ""))
+    if status["errored"]:
+        print(f"errored (will re-run): {', '.join(status['errored'][:8])}"
+              + (" ..." if len(status["errored"]) > 8 else ""))
+    queue = status.get("queue")
+    if queue:
+        print("queue: " + " ".join(f"{k}={v}" for k, v in sorted(queue.items())))
     if status["pending"]:
         print(f"pending: {', '.join(status['pending'][:8])}"
               + (" ..." if len(status["pending"]) > 8 else ""))
     return 0 if not status["pending"] else 2
+
+
+@_campaign_cli
+def _cmd_campaign_retry(args):
+    from .experiments.campaign import load_spec, retry_campaign
+
+    spec = load_spec(args.name, results_root=args.root)
+    statuses = _csv(args.statuses) if args.statuses else None
+    requeued = retry_campaign(spec, statuses=statuses)
+    print(f"requeued {len(requeued)} cells")
+    for cell_id in requeued[:16]:
+        print(f"  {cell_id}")
+    if len(requeued) > 16:
+        print(f"  ... and {len(requeued) - 16} more")
+    if requeued:
+        print("run `repro campaign run` to recompute them")
+    return 0
 
 
 @_campaign_cli
@@ -293,6 +335,33 @@ def _cmd_campaign_report(args):
         if args.show:
             print(open(path).read())
     _print_prep_stats(campaign_status(spec=spec))
+    return 0
+
+
+def _cmd_worker(args):
+    import os
+
+    from .experiments.campaign import CampaignError, load_spec
+    from .experiments.worker import worker_loop
+
+    directory = os.path.abspath(args.campaign_dir)
+    spec_path = os.path.join(directory, "spec.json")
+    try:
+        spec = load_spec(path=spec_path)
+    except CampaignError as exc:
+        raise SystemExit(f"worker error: {exc}")
+    # Anchor the spec to the directory actually given, so a campaign
+    # tree that was moved (or is mounted at a different path on this
+    # host) still drains correctly.
+    spec.results_root = os.path.dirname(directory)
+    spec.name = os.path.basename(directory)
+    stats = worker_loop(
+        spec,
+        worker_id=args.worker_id,
+        max_cells=args.max_cells,
+        progress=print if not args.quiet else None,
+    )
+    print(json.dumps(stats, sort_keys=True))
     return 0
 
 
@@ -414,6 +483,19 @@ def build_parser():
                    help="overall KRATT-OG attack budget per cell (s)")
     c.add_argument("--workers", type=int,
                    help="worker processes (<=1 runs in-process)")
+    c.add_argument("--backend", choices=["pool", "queue"], default=None,
+                   help="execution backend: pool (in-process/multiprocessing)"
+                        " or queue (durable work queue with lease recovery, "
+                        "retry/backoff and poison-cell quarantine)")
+    c.add_argument("--lease-ttl", type=float,
+                   help="queue backend: seconds a claimed cell's lease "
+                        "stays valid without a heartbeat")
+    c.add_argument("--max-attempts", type=int,
+                   help="queue backend: failed claims before a cell is "
+                        "quarantined as status=poisoned")
+    c.add_argument("--backoff-base", type=float,
+                   help="queue backend: first retry delay (s); doubles per "
+                        "attempt with deterministic jitter")
     c.add_argument("--cell-timeout", type=float,
                    help="HARD per-cell wall-clock limit (s): cells run in "
                         "killable processes and overruns are terminated and "
@@ -432,11 +514,38 @@ def build_parser():
     c.add_argument("--root")
     c.set_defaults(func=_cmd_campaign_status)
 
+    c = csub.add_parser(
+        "retry",
+        help="requeue error/timeout/poisoned cells of an existing campaign",
+    )
+    c.add_argument("name")
+    c.add_argument("--statuses", default=None,
+                   help="comma-separated subset of error,timeout,poisoned "
+                        "(default: all three)")
+    c.add_argument("--root")
+    c.set_defaults(func=_cmd_campaign_retry)
+
     c = csub.add_parser("report", help="aggregate cells into paper tables")
     c.add_argument("name")
     c.add_argument("--root")
     c.add_argument("--show", action="store_true", help="print the tables")
     c.set_defaults(func=_cmd_campaign_report)
+
+    p = sub.add_parser(
+        "worker",
+        help="drain a campaign's durable work queue (start any number of "
+             "these, on any host sharing the campaign directory)",
+    )
+    p.add_argument("campaign_dir",
+                   help="campaign directory containing spec.json (a queue "
+                        "is created there on first use)")
+    p.add_argument("--max-cells", type=int, default=None,
+                   help="retire after claiming at most N cells")
+    p.add_argument("--worker-id", default=None,
+                   help="stable worker identity (default host-pid-nonce)")
+    p.add_argument("--quiet", action="store_true",
+                   help="suppress per-cell progress lines")
+    p.set_defaults(func=_cmd_worker)
 
     p = sub.add_parser(
         "prepstore",

@@ -41,6 +41,7 @@ import json
 import multiprocessing
 import os
 import re
+import signal
 import time
 import traceback
 from collections import namedtuple
@@ -48,17 +49,26 @@ from dataclasses import dataclass, field, asdict
 
 from .harness import format_table, prep_stats
 from .prepstore import prep_store_info
-from . import tables
+from .records import (
+    RETRYABLE_STATUSES,
+    TERMINAL_STATUSES,
+    make_cell_record,
+    validate_cell_record,
+)
+from .queue import CellQueue, QueueConfig, QueueCorruption, queue_path
+from . import faultinject, tables
 
 __all__ = [
     "Artifact",
     "ARTIFACTS",
+    "BACKENDS",
     "CampaignSpec",
     "CampaignCell",
     "CampaignResult",
     "CampaignError",
     "expand_cells",
     "run_campaign",
+    "retry_campaign",
     "campaign_status",
     "aggregate_campaign",
     "write_reports",
@@ -66,6 +76,11 @@ __all__ = [
     "sum_prep_stats",
     "DEFAULT_RESULTS_ROOT",
 ]
+
+#: Execution backends ``run_campaign`` dispatches on.  "pool" is the
+#: in-process/multiprocessing path; "queue" drains a durable work queue
+#: with lease recovery, retry/backoff and poison-cell quarantine.
+BACKENDS = ("pool", "queue")
 
 #: Default landing zone for campaign results, next to the bench outputs.
 DEFAULT_RESULTS_ROOT = os.path.join(
@@ -91,13 +106,48 @@ def _selftest_expand(options):
 
 def _selftest_cell(cell, options):
     options = options or {}
+    index = cell["cell"]
+    # Deterministic failure injection for the retry/quarantine suites:
+    # cells in ``fail_cells`` raise on every attempt numbered below
+    # ``fail_until_attempt`` (attempts are 1-based; the queue worker
+    # exports the current attempt via REPRO_CELL_ATTEMPT).
+    if index in set(options.get("fail_cells") or ()):
+        marker_dir = options.get("fail_marker_dir")
+        if marker_dir is not None:
+            # Environment-dependent failure: the cell fails until someone
+            # "fixes the environment" by creating fixed-<index> — the
+            # scenario ``repro campaign retry`` exists for.
+            if not os.path.exists(os.path.join(marker_dir, f"fixed-{index}")):
+                raise RuntimeError(
+                    f"selftest: injected failure (cell {index}, unfixed)"
+                )
+        else:
+            attempt = faultinject.current_attempt()
+            if attempt < int(options.get("fail_until_attempt", 10 ** 9)):
+                raise RuntimeError(
+                    f"selftest: injected failure "
+                    f"(cell {index}, attempt {attempt})"
+                )
+    # Worker-death injection: cells in ``kill_cells`` SIGKILL their own
+    # process — once, when ``kill_marker_dir`` is set (a marker file
+    # makes the next attempt survive), or on every attempt without it.
+    if index in set(options.get("kill_cells") or ()):
+        marker_dir = options.get("kill_marker_dir")
+        marker = (
+            os.path.join(marker_dir, f"killed-{index}") if marker_dir else None
+        )
+        if marker is None or not os.path.exists(marker):
+            if marker is not None:
+                with open(marker, "w"):
+                    pass
+            os.kill(os.getpid(), signal.SIGKILL)
     sleep_s = float(options.get("sleep_s", 0.0))
     slow = options.get("slow_cells")
-    if slow is not None and cell["cell"] not in set(slow):
+    if slow is not None and index not in set(slow):
         sleep_s = 0.0
     if sleep_s:
         time.sleep(sleep_s)
-    return {"row": [cell["cell"], f"{sleep_s:.2f}"]}
+    return {"row": [index, f"{sleep_s:.2f}"]}
 
 
 def _selftest_aggregate(results, options):
@@ -160,6 +210,14 @@ class CampaignSpec:
     cells run in killable worker processes and are terminated and
     recorded as ``status="timeout"`` once it elapses.  ``None`` keeps
     the soft accounting-free behaviour.
+
+    ``backend`` selects the execution layer: ``"pool"`` (default) is
+    the in-process/multiprocessing path; ``"queue"`` serializes cells
+    into a durable SQLite work queue drained by killable worker
+    processes with lease recovery, bounded retries and poison-cell
+    quarantine.  ``queue`` tunes that backend (see
+    :class:`repro.experiments.queue.QueueConfig`: ``lease_ttl``,
+    ``max_attempts``, ``backoff_base``, ...).
     """
 
     name: str
@@ -169,6 +227,8 @@ class CampaignSpec:
     cell_timeout: float = None
     results_root: str = None
     mp_context: str = None  # "fork" | "spawn" | None = platform default
+    backend: str = "pool"
+    queue: dict = field(default_factory=dict)
 
     def __post_init__(self):
         if not re.fullmatch(r"[A-Za-z0-9._-]+", self.name or ""):
@@ -181,8 +241,19 @@ class CampaignSpec:
             raise CampaignError(
                 f"unknown artifacts {unknown}; known: {sorted(ARTIFACTS)}"
             )
+        if self.backend not in BACKENDS:
+            raise CampaignError(
+                f"unknown backend {self.backend!r}; known: {list(BACKENDS)}"
+            )
+        try:
+            QueueConfig.from_dict(self.queue)
+        except (TypeError, ValueError) as exc:
+            raise CampaignError(f"bad queue config: {exc}") from None
         if self.results_root is None:
             self.results_root = DEFAULT_RESULTS_ROOT
+
+    def queue_config(self):
+        return QueueConfig.from_dict(self.queue)
 
     # -- persistence ---------------------------------------------------
     def to_dict(self):
@@ -192,7 +263,7 @@ class CampaignSpec:
     def from_dict(cls, data):
         known = {
             "name", "artifacts", "options", "workers", "cell_timeout",
-            "results_root", "mp_context",
+            "results_root", "mp_context", "backend", "queue",
         }
         unknown = set(data) - known
         if unknown:
@@ -259,6 +330,7 @@ class CampaignResult:
     elapsed: float
     tables: dict = None  # artifact -> (header, rows); None while incomplete
     timeouts: list = field(default_factory=list)  # cell ids killed on timeout
+    poisoned: list = field(default_factory=list)  # cell ids quarantined
     prep: dict = field(default_factory=dict)  # summed per-cell cache deltas
 
     @property
@@ -286,6 +358,13 @@ class CampaignResult:
                 f"were killed on cell_timeout ({self.timeouts[:5]}); the "
                 "aggregate is not serial-identical"
             )
+        if self.poisoned:
+            raise CampaignError(
+                f"campaign {self.spec.name!r}: {len(self.poisoned)} cells "
+                f"are quarantined as poisoned ({self.poisoned[:5]}); the "
+                "aggregate is not serial-identical (see `repro campaign "
+                "retry` to requeue them)"
+            )
         if not self.complete:
             raise CampaignError(
                 f"campaign {self.spec.name!r} is incomplete "
@@ -298,7 +377,8 @@ class CampaignResult:
         line = (
             f"campaign {self.spec.name}: {state}, cells total={self.total} "
             f"ran={self.ran} skipped={self.skipped} errors={len(self.errors)} "
-            f"timeouts={len(self.timeouts)} ({self.elapsed:.1f}s)"
+            f"timeouts={len(self.timeouts)} "
+            f"poisoned={len(self.poisoned)} ({self.elapsed:.1f}s)"
         )
         if self.prep:
             line += (
@@ -344,25 +424,33 @@ def _atomic_write_json(path, payload):
     os.replace(tmp, path)
 
 
-def _load_cell_record(path):
-    """A finished cell record, or ``None`` for missing/corrupt files.
+def _read_cell_record(path):
+    """Any valid canonical record on disk, or ``None``.
 
-    A campaign killed mid-write leaves either no file (writes are atomic
-    renames) or, on exotic filesystems, a truncated one — both read as
-    "cell not done", so resume recomputes them.  ``status="timeout"``
-    records count as finished: a cell killed at ``cell_timeout`` is
-    completed-with-timeout, not pending — rerunning it would stall every
-    resume pass on the same pathological cell.
+    Missing, truncated, corrupt, or schema-invalid files all read as
+    ``None`` — a campaign killed mid-write leaves either no file (writes
+    are atomic renames) or, on exotic filesystems, a truncated one.
     """
     try:
         with open(path) as handle:
             record = json.load(handle)
     except (OSError, ValueError):
         return None
-    status = record.get("status")
-    if status == "timeout":
-        return record
-    if status != "ok" or "result" not in record:
+    return validate_cell_record(record)
+
+
+def _load_cell_record(path):
+    """A *finished* cell record, or ``None`` (cell must run again).
+
+    ``status="timeout"`` and ``status="poisoned"`` records count as
+    finished: the cell was killed at ``cell_timeout`` or quarantined
+    after repeated failures — rerunning it would stall every resume pass
+    on the same pathological cell (``repro campaign retry`` requeues
+    them explicitly).  ``status="error"`` records are forensics from a
+    failed attempt, not completion markers: the cell stays pending.
+    """
+    record = _read_cell_record(path)
+    if record is None or record["status"] not in TERMINAL_STATUSES:
         return None
     return record
 
@@ -390,6 +478,9 @@ def sum_prep_stats(records):
 def _run_cell_payload(payload):
     """Execute one cell; module-level so worker pools can pickle it."""
     artifact_name, params, options = payload
+    # Fault-injection site: a worker SIGKILLed the moment cell work
+    # starts (no-op unless REPRO_FAULT_KILL_RATE is exported).
+    faultinject.crash_point("mid_cell", _cell_id(artifact_name, params))
     start = time.monotonic()
     prep_before = prep_stats()
     try:
@@ -397,16 +488,15 @@ def _run_cell_payload(payload):
         status, error = "ok", None
     except Exception:
         result, status, error = None, "error", traceback.format_exc()
-    return {
-        "artifact": artifact_name,
-        "params": params,
-        "status": status,
-        "result": result,
-        "error": error,
-        "elapsed": time.monotonic() - start,
-        "pid": os.getpid(),
-        "prep": _prep_delta(prep_before, prep_stats()),
-    }
+    return make_cell_record(
+        artifact=artifact_name,
+        params=params,
+        status=status,
+        result=result,
+        error=error,
+        elapsed=time.monotonic() - start,
+        prep=_prep_delta(prep_before, prep_stats()),
+    )
 
 
 def _pool_context(spec):
@@ -425,6 +515,12 @@ _CELL_STARTED = "__cell_started__"
 #: arrives; a child hung in imports is still killed, just not a healthy
 #: spawn-context worker that spent seconds booting.
 _BOOT_GRACE_S = 30.0
+
+#: Sentinel for "the cell worker's pipe is closed and empty" — the
+#: child exited (or was SIGKILLed) without sending a record.  Distinct
+#: from ``None`` ("no message yet") so crash classification is
+#: immediate instead of hinging on a grace-poll race.
+_PIPE_CLOSED = "__pipe_closed__"
 
 
 def _run_cell_child(payload, conn):
@@ -475,12 +571,21 @@ def _run_cells_hard_timeout(spec, todo, payloads, finish):
     active = []  # [proc, conn, cell, started_at, booted]
 
     def drain(conn):
+        """Next message, ``None`` (nothing yet), or ``_PIPE_CLOSED``.
+
+        A SIGKILLed child closes its pipe end with nothing buffered;
+        ``poll`` reports readable and ``recv`` raises ``EOFError``
+        immediately.  Returning a distinct sentinel (instead of folding
+        EOF into "no message yet") lets the reaper classify the crash
+        the moment it happens — no 0.5s grace poll, no race between the
+        poll window and a record that will never arrive.
+        """
         if not conn.poll(0):
             return None
         try:
             return conn.recv()
         except EOFError:
-            return None
+            return _PIPE_CLOSED
 
     def reap(entry):
         """Harvest one active slot; returns False while still running."""
@@ -492,46 +597,55 @@ def _run_cells_hard_timeout(spec, todo, payloads, finish):
             started = entry[3] = time.monotonic()
             booted = entry[4] = True
             record = drain(conn)
-        if record is None and proc.is_alive():
+        pipe_closed = record is _PIPE_CLOSED
+        if pipe_closed:
+            record = None
+        if record is None and not pipe_closed and proc.is_alive():
             allowance = limit if booted else limit + _BOOT_GRACE_S
             if time.monotonic() - started <= allowance:
                 return False
             _kill_process(proc)
             # A cell that finished in the kill window still gets its
             # real record (finish() marks it timed_out by elapsed).
-            record = drain(conn) or {
-                "artifact": cell.artifact,
-                "params": cell.params,
-                "status": "timeout",
-                "result": None,
-                "error": None,
-                "elapsed": time.monotonic() - started,
-                "pid": proc.pid,
-                "timed_out": True,
-                "cell_timeout": limit,
-            }
-        elif record is None:
-            # Exited without sending: give an in-flight record one
-            # last chance to drain, else report the crash below.
+            killed = drain(conn)
+            if killed is None or killed is _PIPE_CLOSED:
+                killed = make_cell_record(
+                    artifact=cell.artifact,
+                    params=cell.params,
+                    status="timeout",
+                    elapsed=time.monotonic() - started,
+                    pid=proc.pid,
+                    timed_out=True,
+                    cell_timeout=limit,
+                )
+            record = killed
+        elif record is None and not pipe_closed:
+            # Exited with the pipe still open (exotic: teardown raced
+            # the exit): give an in-flight record one last chance.
             if conn.poll(0.5):
-                record = drain(conn)
+                message = drain(conn)
+                record = None if message is _PIPE_CLOSED else message
         proc.join(5.0)
         if proc.is_alive():
             _kill_process(proc)
         conn.close()
         if record is None:
-            record = {
-                "artifact": cell.artifact,
-                "params": cell.params,
-                "status": "error",
-                "result": None,
-                "error": (
+            # Closed pipe / silent exit with no record: the worker died
+            # mid-cell (SIGKILL, OOM, segfault).  Canonical crash
+            # record — same shape as every other status, so the crash
+            # is persisted for forensics and the cell stays retryable.
+            record = make_cell_record(
+                artifact=cell.artifact,
+                params=cell.params,
+                status="error",
+                error=(
                     f"cell worker died without a result "
                     f"(exitcode {proc.exitcode})"
                 ),
-                "elapsed": time.monotonic() - started,
-                "pid": proc.pid,
-            }
+                elapsed=time.monotonic() - started,
+                pid=proc.pid,
+                cell_timeout=limit,
+            )
         finish(cell, record)
         return True
 
@@ -556,6 +670,46 @@ def _run_cells_hard_timeout(spec, todo, payloads, finish):
         for proc, conn, _cell, _started, _booted in active:
             _kill_process(proc)
             conn.close()
+
+
+def run_one_cell_hard(spec, cell, payload):
+    """Run a single cell under the hard-timeout kill machinery.
+
+    The queue worker's per-cell path: same killable child process, boot
+    grace, watchdog and crash classification as the batch runner, for
+    exactly one cell.  Returns the raw record (not yet finalized).
+    """
+    out = {}
+
+    def finish(_cell, record):
+        out["record"] = record
+
+    _run_cells_hard_timeout(spec, [cell], [payload], finish)
+    return out["record"]
+
+
+def finalize_cell_record(record, cell_id, cell_timeout=None):
+    """Stamp identity + accounting onto a raw record (canonical shape).
+
+    Single exit point for every backend: ensures the record carries
+    ``cell_id``, ``timed_out`` and ``cell_timeout`` no matter which
+    runner produced it, so persisted records always validate.
+    """
+    record.setdefault("result", None)
+    record.setdefault("error", None)
+    record.setdefault("prep", {})
+    record["cell_id"] = cell_id
+    if cell_timeout is not None:
+        record["cell_timeout"] = cell_timeout
+        record["timed_out"] = (
+            record["status"] == "timeout" or record["elapsed"] > cell_timeout
+        )
+    else:
+        record.setdefault("cell_timeout", None)
+        record["timed_out"] = bool(
+            record.get("timed_out", record["status"] == "timeout")
+        )
+    return record
 
 
 def run_campaign(spec, resume=True, fresh=False, limit=None, progress=None):
@@ -613,34 +767,56 @@ def run_campaign(spec, resume=True, fresh=False, limit=None, progress=None):
 
     errors = []
     timeouts = []
+    poisoned = []
     prep_totals = {}
 
-    def finish(cell, record):
-        record["cell_id"] = cell.cell_id
-        if spec.cell_timeout is not None:
-            record["timed_out"] = (
-                record["status"] == "timeout"
-                or record["elapsed"] > spec.cell_timeout
-            )
+    def account(cell_id, record, emit=True):
         for key, value in (record.get("prep") or {}).items():
             if isinstance(value, (int, float)):
                 prep_totals[key] = prep_totals.get(key, 0) + value
         if record["status"] == "timeout":
-            timeouts.append(cell.cell_id)
-        if record["status"] in ("ok", "timeout"):
-            _atomic_write_json(
-                os.path.join(spec.cells_dir, f"{cell.cell_id}.json"), record
-            )
-        else:
-            errors.append((cell.cell_id, record["error"]))
-        if progress is not None:
+            timeouts.append(cell_id)
+        elif record["status"] == "poisoned":
+            poisoned.append(cell_id)
+        elif record["status"] == "error":
+            errors.append((cell_id, record["error"]))
+        if emit and progress is not None:
             progress(
-                f"[{record['status']}] {cell.cell_id} "
+                f"[{record['status']}] {cell_id} "
                 f"({record['elapsed']:.2f}s, pid {record['pid']})"
             )
 
+    def finish(cell, record):
+        record = finalize_cell_record(
+            record, cell.cell_id, cell_timeout=spec.cell_timeout
+        )
+        # Every status is persisted — error records are crash forensics
+        # (resume still treats them as pending and re-runs the cell).
+        _atomic_write_json(
+            os.path.join(spec.cells_dir, f"{cell.cell_id}.json"), record
+        )
+        account(cell.cell_id, record)
+
     payloads = [(c.artifact, c.params, spec.options) for c in todo]
-    if spec.cell_timeout is not None and todo:
+    if spec.backend == "queue" and todo:
+        # Durable queue: cells become leased tasks drained by killable
+        # worker processes (lease recovery, retry/backoff, quarantine).
+        from .worker import run_queue_backend
+
+        run_queue_backend(spec, cells, progress=progress)
+        for cell in todo:
+            path = os.path.join(spec.cells_dir, f"{cell.cell_id}.json")
+            record = _read_cell_record(path)
+            if record is None:
+                errors.append((
+                    cell.cell_id,
+                    "queue drained but no valid record was published",
+                ))
+            else:
+                # The queue orchestrator already emitted live per-cell
+                # progress; only fold the record into the totals here.
+                account(cell.cell_id, record, emit=False)
+    elif spec.cell_timeout is not None and todo:
         # Hard limit: per-cell killable processes, regardless of workers.
         _run_cells_hard_timeout(spec, todo, payloads, finish)
     elif spec.workers and spec.workers > 1 and len(todo) > 1:
@@ -662,6 +838,7 @@ def run_campaign(spec, resume=True, fresh=False, limit=None, progress=None):
         errors=errors,
         elapsed=time.monotonic() - start,
         timeouts=timeouts,
+        poisoned=poisoned,
         prep=prep_totals,
     )
     if not errors and result.ran + result.skipped == result.total:
@@ -686,22 +863,31 @@ def campaign_status(name=None, results_root=None, spec=None):
     per_artifact = {a: {"done": 0, "total": 0} for a in spec.artifacts}
     pending = []
     timeouts = []
+    poisoned = []
+    errored = []
     records = []
     healthy = 0
     for cell in cells:
         per_artifact[cell.artifact]["total"] += 1
         path = os.path.join(spec.cells_dir, f"{cell.cell_id}.json")
-        record = _load_cell_record(path)
-        if record is not None:
+        record = _read_cell_record(path)
+        if record is not None and record["status"] in TERMINAL_STATUSES:
             records.append(record)
             per_artifact[cell.artifact]["done"] += 1
-            if record.get("status") == "timeout":
+            if record["status"] == "timeout":
                 timeouts.append(cell.cell_id)
+            elif record["status"] == "poisoned":
+                poisoned.append(cell.cell_id)
             else:
                 healthy += 1
         else:
+            # An error record is a failed attempt's forensics: the cell
+            # is still pending, but surfaced separately for `retry`.
+            if record is not None:
+                errored.append(cell.cell_id)
+                records.append(record)
             pending.append(cell.cell_id)
-    return {
+    status = {
         "name": spec.name,
         "directory": spec.directory,
         "artifacts": per_artifact,
@@ -710,9 +896,19 @@ def campaign_status(name=None, results_root=None, spec=None):
         "healthy": healthy,
         "pending": pending,
         "timeouts": timeouts,
+        "poisoned": poisoned,
+        "errored": errored,
         "prep": sum_prep_stats(records),
         "store": prep_store_info(),
     }
+    if os.path.exists(queue_path(spec.directory)):
+        try:
+            queue = CellQueue(spec.directory, spec.queue_config())
+            status["queue"] = queue.counts()
+            queue.close()
+        except QueueCorruption:
+            status["queue"] = {"corrupt": True}
+    return status
 
 
 def aggregate_campaign(spec, cells=None):
@@ -720,9 +916,9 @@ def aggregate_campaign(spec, cells=None):
 
     Raises :class:`CampaignError` when records are missing — aggregation
     of a partial campaign would silently drop rows.  ``status="timeout"``
-    records count as completed but contribute no row: the surviving rows
-    are exactly what the serial path produces for the non-timed-out
-    cells.
+    and ``status="poisoned"`` records count as completed but contribute
+    no row: the surviving rows are exactly what the serial path produces
+    for the healthy cells.
     """
     if cells is None:
         cells = expand_cells(spec)
@@ -735,7 +931,7 @@ def aggregate_campaign(spec, cells=None):
         if record is None:
             missing.append(cell.cell_id)
             continue
-        if record.get("status") == "timeout":
+        if record["status"] != "ok":
             continue
         by_artifact[cell.artifact].append(record["result"])
     if missing:
@@ -748,6 +944,50 @@ def aggregate_campaign(spec, cells=None):
         artifact: ARTIFACTS[artifact].aggregate(results, spec.options)
         for artifact, results in by_artifact.items()
     }
+
+
+def retry_campaign(spec, statuses=None):
+    """Requeue finished-but-unhealthy cells of an existing campaign.
+
+    ``resume`` deliberately treats ``timeout`` and ``poisoned`` records
+    as completed so one pathological cell cannot wedge every resume
+    pass; this is the explicit opt-in to run them again.  Removes the
+    selected records (the next ``run_campaign`` recomputes those cells)
+    and resets their queue tasks to a fresh pending state when a queue
+    exists.  Returns the requeued cell ids.
+
+    ``statuses`` selects which classes to requeue, from
+    ``("error", "timeout", "poisoned")`` (default: all three).
+    """
+    if statuses is None:
+        statuses = RETRYABLE_STATUSES
+    statuses = tuple(statuses)
+    unknown = [s for s in statuses if s not in RETRYABLE_STATUSES]
+    if unknown:
+        raise CampaignError(
+            f"cannot retry statuses {unknown}; retryable: "
+            f"{list(RETRYABLE_STATUSES)}"
+        )
+    removed = []
+    for cell in expand_cells(spec):
+        path = os.path.join(spec.cells_dir, f"{cell.cell_id}.json")
+        record = _read_cell_record(path)
+        if record is not None and record["status"] in statuses:
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                continue
+            removed.append(cell.cell_id)
+    if removed and os.path.exists(queue_path(spec.directory)):
+        try:
+            queue = CellQueue(spec.directory, spec.queue_config())
+            queue.reset(removed)
+            queue.close()
+        except QueueCorruption:
+            # The queue is derived state: drop it and let the next run
+            # rebuild it from the spec plus the surviving records.
+            CellQueue.destroy(spec.directory)
+    return removed
 
 
 def write_reports(spec, tables_by_artifact=None):

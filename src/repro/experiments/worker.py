@@ -1,0 +1,400 @@
+"""Queue-draining campaign workers.
+
+Two entry points share this module:
+
+* :func:`run_queue_backend` — the parent side of
+  ``repro campaign run --backend=queue``: populates the durable queue,
+  spawns ``spec.workers`` local worker processes, respawns any that die
+  (fault injection, OOM, SIGKILL), and returns once the queue is fully
+  drained with every task's record published and audited.
+* :func:`worker_loop` — one worker's life: claim a lease, run the cell,
+  publish its canonical JSON record, ack; on failure report to the
+  queue (retry with backoff, or quarantine).  ``repro worker <dir>``
+  runs exactly this against any campaign directory, so extra processes
+  — or other hosts mounting the same storage — can join a drain at any
+  time.
+
+Crash-window recovery, by construction:
+
+* died mid-cell            -> lease expires, cell requeued, rerun
+* died before publish      -> same (no record, rerun)
+* died after publish,      -> next claimer finds the published record
+  before ack                  and acks without re-running (no duplicate
+                              work, no duplicate rows)
+* record torn/corrupt      -> queue audit requeues the cell
+* stale worker (lost lease) -> its publish is byte-equivalent by
+  determinism; its ack/fail are lease-guarded no-ops
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+import traceback
+import uuid
+
+from . import campaign as _campaign
+from . import faultinject
+from .queue import CellQueue, QueueCorruption
+from .records import make_cell_record
+
+__all__ = [
+    "default_worker_id",
+    "worker_loop",
+    "run_queue_backend",
+    "publish_quarantine_records",
+]
+
+
+def default_worker_id():
+    """A fleet-unique worker identity (host + pid + nonce)."""
+    return f"{socket.gethostname()}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
+def _record_path(spec, cell_id):
+    return os.path.join(spec.cells_dir, f"{cell_id}.json")
+
+
+def _terminal_record_loader(spec):
+    """cell_id -> finished record (ok/timeout/poisoned) or None."""
+
+    def load(cell_id):
+        return _campaign._load_cell_record(_record_path(spec, cell_id))
+
+    return load
+
+
+class _LeaseHeartbeat(threading.Thread):
+    """Extends one claimed lease until stopped (its own DB connection).
+
+    A worker alive but slow on a long cell must not lose its lease; a
+    worker that dies takes this daemon thread with it, the heartbeats
+    stop, and the lease expires — which is the whole recovery story.
+    """
+
+    daemon = True
+
+    def __init__(self, directory, config, cell_id, worker_id):
+        super().__init__(name=f"lease-heartbeat-{cell_id[:32]}")
+        self._directory = directory
+        self._config = config
+        self._cell_id = cell_id
+        self._worker_id = worker_id
+        self._halt = threading.Event()
+
+    def run(self):
+        queue = CellQueue(self._directory, self._config)
+        try:
+            while not self._halt.wait(self._config.heartbeat_period):
+                if not queue.heartbeat(self._cell_id, self._worker_id):
+                    break  # lease lost; nothing left to extend
+        except QueueCorruption:
+            pass  # the orchestrator rebuilds; dying quietly is correct
+        finally:
+            queue.close()
+
+    def stop(self):
+        self._halt.set()
+        self.join(timeout=5.0)
+
+
+def _publish(spec, record, cell_id, worker_id, attempt):
+    """Finalize + atomically publish one record, with fault hooks."""
+    record = _campaign.finalize_cell_record(
+        record, cell_id, cell_timeout=spec.cell_timeout
+    )
+    record["worker"] = worker_id
+    record["attempt"] = int(attempt)
+    path = _record_path(spec, cell_id)
+    faultinject.crash_point("before_publish", cell_id, attempt)
+    _campaign._atomic_write_json(path, record)
+    faultinject.torn_record_point(path, cell_id, attempt)
+    faultinject.crash_point("after_publish", cell_id, attempt)
+    return record
+
+
+def _quarantine_record(spec, task):
+    """Build the poisoned record from a task's preserved failures."""
+    failures = list(task.failures)
+    details = "\n\n".join(
+        f"--- attempt {f.get('attempt', '?')} "
+        f"(worker {f.get('worker', '?')}):\n{f.get('error', '')}"
+        for f in failures
+    )
+    return make_cell_record(
+        artifact=task.artifact,
+        params=task.params,
+        status="poisoned",
+        error=(
+            f"quarantined after {task.attempts} failed claims:\n{details}"
+        ),
+        cell_timeout=spec.cell_timeout,
+        cell_id=task.cell_id,
+        attempt=task.attempts,
+        failures=failures,
+    )
+
+
+def publish_quarantine_records(spec, queue, cell_ids=None):
+    """Persist a poisoned record for quarantined tasks that lack one.
+
+    Covers quarantines nobody was alive to publish (a lease that
+    expired past ``max_attempts`` under a dead worker).  Skips tasks
+    that somehow acquired a valid terminal record (e.g. a stale worker
+    eventually succeeded): the published result wins over the verdict.
+    """
+    loader = _terminal_record_loader(spec)
+    published = []
+    for task in queue.tasks(state="poisoned"):
+        if cell_ids is not None and task.cell_id not in cell_ids:
+            continue
+        if loader(task.cell_id) is not None:
+            continue
+        record = _campaign.finalize_cell_record(
+            _quarantine_record(spec, task), task.cell_id,
+            cell_timeout=spec.cell_timeout,
+        )
+        _campaign._atomic_write_json(_record_path(spec, task.cell_id), record)
+        published.append(task.cell_id)
+    return published
+
+
+def _process_task(spec, queue, config, task, worker_id):
+    """Run one claimed task to an ack/fail; returns the outcome label."""
+    cell_id = task.cell_id
+    attempt = task.attempts
+    # Exported so fault hooks and attempt-aware cells (selftest) see the
+    # claim number without plumbing it through every call layer.
+    os.environ["REPRO_CELL_ATTEMPT"] = str(attempt)
+    try:
+        existing = _campaign._load_cell_record(_record_path(spec, cell_id))
+        if existing is not None:
+            # Crash-after-publish/before-ack recovery: the work is done
+            # and persisted; just settle the ledger.
+            queue.ack(cell_id, worker_id, existing["status"])
+            return "recovered"
+        stalled = faultinject.stall_point(cell_id, attempt)
+        heartbeat = None
+        if not stalled:
+            heartbeat = _LeaseHeartbeat(
+                spec.directory, config, cell_id, worker_id
+            )
+            heartbeat.start()
+        try:
+            payload = (task.artifact, task.params, spec.options)
+            try:
+                if spec.cell_timeout is not None:
+                    cell = _campaign.CampaignCell(
+                        task.artifact, task.index, cell_id, task.params
+                    )
+                    record = _campaign.run_one_cell_hard(spec, cell, payload)
+                else:
+                    record = _campaign._run_cell_payload(payload)
+            except Exception:
+                # Infrastructure failure (spawn failure, prep-store read
+                # error, pipe EOF...): retryable, never fatal to the
+                # worker loop.
+                outcome = queue.fail(
+                    cell_id, worker_id,
+                    f"infrastructure failure on worker {worker_id}:\n"
+                    + traceback.format_exc(),
+                )
+                if outcome == "poisoned":
+                    publish_quarantine_records(spec, queue, [cell_id])
+                return outcome
+            if record["status"] in ("ok", "timeout"):
+                _publish(spec, record, cell_id, worker_id, attempt)
+                queue.ack(cell_id, worker_id, record["status"])
+                return record["status"]
+            # status == "error": a failed attempt — let the queue decide
+            # between backoff-retry and quarantine.
+            outcome = queue.fail(cell_id, worker_id, record["error"])
+            if outcome == "poisoned":
+                publish_quarantine_records(spec, queue, [cell_id])
+            return outcome
+        finally:
+            if heartbeat is not None:
+                heartbeat.stop()
+    finally:
+        os.environ.pop("REPRO_CELL_ATTEMPT", None)
+
+
+def worker_loop(spec, worker_id=None, max_cells=None, config=None,
+                progress=None):
+    """Drain the campaign's queue until empty (or ``max_cells`` claims).
+
+    Safe to run concurrently with any number of other workers, locally
+    or from other hosts sharing the campaign directory.  Returns a
+    small outcome histogram.
+    """
+    worker_id = worker_id or default_worker_id()
+    config = config or spec.queue_config()
+    cells = _campaign.expand_cells(spec)
+    loader = _terminal_record_loader(spec)
+    queue = CellQueue(spec.directory, config)
+    stats = {"worker": worker_id, "claimed": 0}
+    try:
+        queue.ensure(cells, loader)
+        while True:
+            if max_cells is not None and stats["claimed"] >= max_cells:
+                break
+            try:
+                task = queue.claim(worker_id)
+            except QueueCorruption:
+                # The orchestrator (or next `campaign run`) rebuilds the
+                # queue from the records; this worker just retires.
+                stats["corrupt"] = True
+                break
+            if task is None:
+                if queue.drained():
+                    break
+                time.sleep(config.poll)
+                continue
+            stats["claimed"] += 1
+            outcome = _process_task(spec, queue, config, task, worker_id)
+            stats[outcome] = stats.get(outcome, 0) + 1
+            if progress is not None:
+                progress(
+                    f"[{outcome}] {task.cell_id} "
+                    f"(attempt {task.attempts}, worker {worker_id})"
+                )
+    finally:
+        queue.close()
+    return stats
+
+
+def _worker_entry(spec_data, worker_id):
+    """Module-level target for spawned worker processes (picklable)."""
+    spec = _campaign.CampaignSpec.from_dict(spec_data)
+    worker_loop(spec, worker_id=worker_id)
+
+
+def _open_queue(spec, cells, config):
+    """Open + populate the queue, rebuilding once if it is corrupt."""
+    loader = _terminal_record_loader(spec)
+    for _attempt in range(2):
+        queue = CellQueue(spec.directory, config)
+        try:
+            queue.ensure(cells, loader)
+            return queue
+        except QueueCorruption:
+            queue.close()
+            CellQueue.destroy(spec.directory)
+    raise _campaign.CampaignError(
+        f"campaign {spec.name!r}: could not initialize the work queue at "
+        f"{spec.directory}"
+    )
+
+
+def _emit_new_records(spec, seen, progress):
+    if progress is None:
+        return
+    try:
+        entries = os.listdir(spec.cells_dir)
+    except OSError:
+        return
+    for entry in sorted(entries):
+        if not entry.endswith(".json") or entry in seen:
+            continue
+        record = _campaign._read_cell_record(
+            os.path.join(spec.cells_dir, entry)
+        )
+        if record is None:
+            continue  # mid-publish or torn; it will come around again
+        seen.add(entry)
+        progress(
+            f"[{record['status']}] {record.get('cell_id', entry[:-5])} "
+            f"({record['elapsed']:.2f}s, pid {record['pid']})"
+        )
+
+
+def run_queue_backend(spec, cells, progress=None):
+    """Drive a queue-backed campaign to full drain (parent side).
+
+    Spawns ``spec.workers`` worker processes and keeps the fleet at
+    strength while work remains — a worker lost to SIGKILL/fault
+    injection is respawned, its leased cell recovered via TTL expiry.
+    Completion requires the queue to be drained *and* every done task's
+    record to pass audit (torn records requeue their cells).
+    """
+    config = spec.queue_config()
+    loader = _terminal_record_loader(spec)
+    queue = _open_queue(spec, cells, config)
+    ctx = _campaign._pool_context(spec)
+    n_workers = max(1, spec.workers or 1)
+    # Generous but finite: quarantine bounds failures per cell, so a
+    # respawn storm beyond this is a bug, not bad luck.
+    respawn_cap = 8 * max(1, len(cells)) + 4 * n_workers + 16
+    respawns = 0
+    spawned = 0
+    # Resumed cells' records predate this run; only report new ones.
+    seen_records = set()
+    try:
+        seen_records.update(
+            e for e in os.listdir(spec.cells_dir) if e.endswith(".json")
+        )
+    except OSError:
+        pass
+
+    def spawn():
+        nonlocal spawned
+        spawned += 1
+        proc = ctx.Process(
+            target=_worker_entry,
+            args=(spec.to_dict(), f"local-{spawned}-{os.getpid()}"),
+        )
+        proc.daemon = True
+        proc.start()
+        return proc
+
+    workers = [spawn() for _ in range(n_workers)]
+    try:
+        while True:
+            _emit_new_records(spec, seen_records, progress)
+            drained = False
+            try:
+                if queue.drained():
+                    drained = True
+                    publish_quarantine_records(spec, queue)
+                    if queue.audit(loader):
+                        # Torn/corrupt records came back as pending:
+                        # the fleet must re-run them.
+                        drained = False
+                    elif not any(proc.is_alive() for proc in workers):
+                        # Final only once every worker has retired: a
+                        # stale straggler (expired lease) may still
+                        # overwrite a record after this audit, so the
+                        # drain cannot be declared while one lives.
+                        for proc in workers:
+                            proc.join()
+                        break
+            except QueueCorruption:
+                queue.close()
+                CellQueue.destroy(spec.directory)
+                queue = _open_queue(spec, cells, config)
+                drained = False
+            if not drained:
+                # Work remains: keep the fleet at strength.  (While
+                # drained we deliberately let exited workers lie —
+                # respawning them would churn claim-nothing processes
+                # against the straggler wait above.)
+                for i, proc in enumerate(workers):
+                    if not proc.is_alive():
+                        proc.join()
+                        respawns += 1
+                        if respawns > respawn_cap:
+                            raise _campaign.CampaignError(
+                                f"campaign {spec.name!r}: queue workers "
+                                f"restarted {respawns} times without "
+                                "draining the queue; giving up"
+                            )
+                        workers[i] = spawn()
+            time.sleep(config.poll)
+        _emit_new_records(spec, seen_records, progress)
+    finally:
+        for proc in workers:
+            if proc.is_alive():
+                _campaign._kill_process(proc)
+        queue.close()

@@ -1,0 +1,142 @@
+"""Worker-death recovery in the pool (hard-timeout) campaign backend.
+
+Satellite of ISSUE 6: a cell child SIGKILLed mid-run must leave a
+canonical crash record (not a hang, not a mystery), resume must re-run
+only that cell, and the healed aggregate must match the serial run.
+Also pins the EOF-sentinel contract: a closed pipe classifies the crash
+immediately instead of racing a grace poll.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.campaign import (
+    CampaignSpec,
+    _PIPE_CLOSED,
+    campaign_status,
+    run_campaign,
+)
+from repro.experiments.records import validate_cell_record
+
+
+def _spec(tmp_path, name, cells=4, **kwargs):
+    options = kwargs.pop("options", {})
+    options.setdefault("cells", cells)
+    return CampaignSpec(
+        name=name,
+        artifacts=("selftest",),
+        options=options,
+        results_root=str(tmp_path),
+        mp_context="fork",
+        **kwargs,
+    )
+
+
+def _expected_rows(cells):
+    return [(i, "0.00") for i in range(cells)]
+
+
+class TestWorkerDeathRecovery:
+    def test_sigkilled_cell_child_leaves_canonical_crash_record(
+        self, tmp_path
+    ):
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        spec = _spec(
+            tmp_path, "rec-kill", cells=4, workers=2, cell_timeout=30.0,
+            options={"kill_cells": [1], "kill_marker_dir": str(marker_dir)},
+        )
+        outcome = run_campaign(spec)
+        assert not outcome.complete
+        assert [cell_id for cell_id, _ in outcome.errors] == [
+            "selftest--cell=1"
+        ]
+        assert "died without a result" in outcome.errors[0][1]
+        assert outcome.timeouts == [], (
+            "a SIGKILLed child is a crash, not a timeout"
+        )
+        # The crash record is persisted, canonical, and non-terminal.
+        path = os.path.join(spec.cells_dir, "selftest--cell=1.json")
+        with open(path) as handle:
+            record = json.load(handle)
+        assert record["status"] == "error"
+        assert record["timed_out"] is False
+        assert record["cell_timeout"] == 30.0
+        assert record["cell_id"] == "selftest--cell=1"
+        assert validate_cell_record(record) is not None
+        status = campaign_status(spec=spec)
+        assert status["errored"] == ["selftest--cell=1"]
+        assert status["pending"] == ["selftest--cell=1"]
+
+    def test_resume_reruns_only_the_crashed_cell(self, tmp_path):
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        spec = _spec(
+            tmp_path, "rec-resume", cells=4, workers=2, cell_timeout=30.0,
+            options={"kill_cells": [1], "kill_marker_dir": str(marker_dir)},
+        )
+        run_campaign(spec)
+        healthy = [
+            f"selftest--cell={i}.json" for i in (0, 2, 3)
+        ]
+        mtimes = {
+            f: os.stat(os.path.join(spec.cells_dir, f)).st_mtime_ns
+            for f in healthy
+        }
+        # The marker file makes the second attempt survive.
+        healed = run_campaign(spec)
+        assert healed.complete and healed.errors == []
+        assert healed.skipped == 3 and healed.ran == 1
+        for f, mtime in mtimes.items():
+            assert os.stat(
+                os.path.join(spec.cells_dir, f)
+            ).st_mtime_ns == mtime, "resume must not re-run healthy cells"
+        header, rows = healed.tables["selftest"]
+        assert rows == _expected_rows(4), (
+            "healed aggregate must be serial-identical"
+        )
+
+    def test_serialized_runner_recovers_from_worker_death_too(self, tmp_path):
+        """workers<=1 still isolates cells in killable processes when a
+        cell_timeout is set, so the crash/resume story is identical."""
+        marker_dir = tmp_path / "markers"
+        marker_dir.mkdir()
+        spec = _spec(
+            tmp_path, "rec-hard", cells=3, workers=1, cell_timeout=30.0,
+            options={"kill_cells": [0], "kill_marker_dir": str(marker_dir)},
+        )
+        outcome = run_campaign(spec)
+        assert [cell_id for cell_id, _ in outcome.errors] == [
+            "selftest--cell=0"
+        ]
+        healed = run_campaign(spec)
+        assert healed.complete
+        assert healed.tables["selftest"][1] == _expected_rows(3)
+
+
+class TestPipeClosedSentinel:
+    def test_drain_returns_sentinel_on_eof(self):
+        """A SIGKILLed child's pipe must read as _PIPE_CLOSED, not None:
+        crash classification may not depend on a poll-window race."""
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe(duplex=False)
+        child.close()  # simulate the child dying with nothing buffered
+
+        # Re-create drain()'s exact contract against a raw pipe.
+        def drain(conn):
+            if not conn.poll(0):
+                return None
+            try:
+                return conn.recv()
+            except EOFError:
+                return _PIPE_CLOSED
+
+        assert drain(parent) is _PIPE_CLOSED
+        parent.close()
+
+    def test_sentinel_is_not_a_valid_record(self):
+        assert validate_cell_record(_PIPE_CLOSED) is None

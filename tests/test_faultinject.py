@@ -1,0 +1,138 @@
+"""The fault-injection harness must be deterministic and fully env-gated.
+
+A fault schedule is a pure function of (seed, site, cell, attempt): the
+same environment always injects the same faults, so a chaos run that
+fails reproduces exactly. And with nothing exported, every hook must be
+a no-op — the harness ships in production code paths.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments import faultinject
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_env(monkeypatch):
+    for var in list(faultinject.FAULT_SITES.values()) + [
+        "REPRO_FAULT_SEED", "REPRO_FAULT_MAX_ATTEMPT",
+        "REPRO_FAULT_STALL_S", "REPRO_CELL_ATTEMPT",
+    ]:
+        monkeypatch.delenv(var, raising=False)
+
+
+class TestGating:
+    def test_disabled_by_default(self):
+        assert faultinject.enabled() is False
+        for site in faultinject.FAULT_SITES:
+            assert faultinject.should_fire(site, "any-cell", 1) is False
+
+    def test_enabled_when_any_rate_set(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_KILL_RATE", "0.5")
+        assert faultinject.enabled() is True
+
+    def test_garbage_rate_reads_as_zero(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_KILL_RATE", "lots")
+        assert faultinject.enabled() is False
+        assert faultinject.should_fire("mid_cell", "c", 1) is False
+
+    def test_rate_one_always_fires_on_attempt_one(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_KILL_RATE", "1.0")
+        for key in ("a", "b", "c"):
+            assert faultinject.should_fire("mid_cell", key, 1) is True
+
+    def test_max_attempt_gate_guarantees_convergence(self, monkeypatch):
+        """Default: only attempt 1 is eligible, so retries always win."""
+        monkeypatch.setenv("REPRO_FAULT_KILL_RATE", "1.0")
+        assert faultinject.should_fire("mid_cell", "c", 1) is True
+        assert faultinject.should_fire("mid_cell", "c", 2) is False
+        monkeypatch.setenv("REPRO_FAULT_MAX_ATTEMPT", "3")
+        assert faultinject.should_fire("mid_cell", "c", 2) is True
+        assert faultinject.should_fire("mid_cell", "c", 4) is False
+
+
+class TestDeterminism:
+    def test_same_inputs_same_decision(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_KILL_RATE", "0.5")
+        decisions = [
+            faultinject.should_fire("mid_cell", f"cell-{i}", 1)
+            for i in range(64)
+        ]
+        again = [
+            faultinject.should_fire("mid_cell", f"cell-{i}", 1)
+            for i in range(64)
+        ]
+        assert decisions == again
+        fired = sum(decisions)
+        assert 10 < fired < 54, "rate=0.5 should fire on roughly half"
+
+    def test_seed_changes_the_schedule(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_KILL_RATE", "0.5")
+        base = [
+            faultinject.should_fire("mid_cell", f"cell-{i}", 1)
+            for i in range(64)
+        ]
+        monkeypatch.setenv("REPRO_FAULT_SEED", "7")
+        reseeded = [
+            faultinject.should_fire("mid_cell", f"cell-{i}", 1)
+            for i in range(64)
+        ]
+        assert base != reseeded
+
+    def test_sites_are_independent(self, monkeypatch):
+        for var in faultinject.FAULT_SITES.values():
+            monkeypatch.setenv(var, "0.5")
+        per_site = {
+            site: [
+                faultinject.should_fire(site, f"cell-{i}", 1)
+                for i in range(64)
+            ]
+            for site in faultinject.FAULT_SITES
+        }
+        schedules = {tuple(v) for v in per_site.values()}
+        assert len(schedules) == len(per_site), (
+            "each site must draw its own schedule"
+        )
+
+
+class TestAttemptPlumbing:
+    def test_current_attempt_defaults_to_one(self):
+        assert faultinject.current_attempt() == 1
+
+    def test_current_attempt_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_ATTEMPT", "3")
+        assert faultinject.current_attempt() == 3
+        monkeypatch.setenv("REPRO_CELL_ATTEMPT", "nonsense")
+        assert faultinject.current_attempt() == 1
+
+    def test_should_fire_uses_env_attempt_when_omitted(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_KILL_RATE", "1.0")
+        monkeypatch.setenv("REPRO_CELL_ATTEMPT", "2")
+        assert faultinject.should_fire("mid_cell", "c") is False
+        monkeypatch.setenv("REPRO_CELL_ATTEMPT", "1")
+        assert faultinject.should_fire("mid_cell", "c") is True
+
+
+class TestHooks:
+    def test_crash_point_is_noop_when_disabled(self):
+        faultinject.crash_point("mid_cell", "c", 1)  # must simply return
+
+    def test_stall_point_reports_whether_it_fired(self, monkeypatch):
+        assert faultinject.stall_point("c", 1) is False
+        monkeypatch.setenv("REPRO_FAULT_STALL_RATE", "1.0")
+        monkeypatch.setenv("REPRO_FAULT_STALL_S", "0")
+        assert faultinject.stall_point("c", 1) is True
+        assert faultinject.stall_point("c", 2) is False  # attempt-gated
+
+    def test_torn_record_point_truncates_only_when_fired(
+        self, monkeypatch, tmp_path
+    ):
+        path = tmp_path / "record.json"
+        path.write_text('{"status": "ok", "result": 1}')
+        assert faultinject.torn_record_point(str(path), "c", 1) is False
+        assert json.loads(path.read_text())["result"] == 1
+        monkeypatch.setenv("REPRO_FAULT_TORN_RECORD_RATE", "1.0")
+        assert faultinject.torn_record_point(str(path), "c", 1) is True
+        with pytest.raises(ValueError):
+            json.loads(path.read_text())

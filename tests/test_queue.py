@@ -1,0 +1,329 @@
+"""Unit coverage of the durable SQLite cell queue.
+
+Every test drives :class:`CellQueue` through an injected fake clock, so
+lease expiry, backoff windows and quarantine thresholds are exercised
+deterministically — no sleeps, no wall-clock races.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.experiments.campaign import CampaignCell
+from repro.experiments.queue import (
+    CellQueue,
+    QueueConfig,
+    QueueCorruption,
+    backoff_delay,
+    queue_path,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def _cells(n=3):
+    return [
+        CampaignCell("selftest", i, f"selftest--cell={i}", {"cell": i})
+        for i in range(n)
+    ]
+
+
+def _queue(tmp_path, clock, **overrides):
+    config = QueueConfig(**{
+        "lease_ttl": 10.0,
+        "max_attempts": 3,
+        "backoff_base": 1.0,
+        "backoff_cap": 8.0,
+        **overrides,
+    })
+    return CellQueue(str(tmp_path), config, clock=clock)
+
+
+class TestConfig:
+    def test_defaults_are_sane(self):
+        config = QueueConfig()
+        assert config.max_attempts == 3
+        assert config.heartbeat_period == pytest.approx(config.lease_ttl / 3)
+
+    def test_explicit_heartbeat_wins(self):
+        assert QueueConfig(heartbeat=2.5).heartbeat_period == 2.5
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown queue config"):
+            QueueConfig.from_dict({"lease_ttl": 5, "max_retries": 2})
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            QueueConfig(lease_ttl=0)
+        with pytest.raises(ValueError):
+            QueueConfig(max_attempts=0)
+
+    def test_roundtrip(self):
+        config = QueueConfig(lease_ttl=5.0, max_attempts=2)
+        assert QueueConfig.from_dict(config.to_dict()) == config
+
+
+class TestBackoff:
+    def test_deterministic(self):
+        config = QueueConfig()
+        assert backoff_delay("c", 2, config) == backoff_delay("c", 2, config)
+
+    def test_exponential_and_capped(self):
+        config = QueueConfig(backoff_base=1.0, backoff_cap=4.0,
+                             backoff_jitter=0.0)
+        assert backoff_delay("c", 1, config) == 1.0
+        assert backoff_delay("c", 2, config) == 2.0
+        assert backoff_delay("c", 3, config) == 4.0
+        assert backoff_delay("c", 10, config) == 4.0  # capped
+
+    def test_jitter_bounded_and_decorrelated(self):
+        config = QueueConfig(backoff_base=1.0, backoff_jitter=0.5)
+        delays = {backoff_delay(f"cell-{i}", 1, config) for i in range(20)}
+        assert all(1.0 <= d <= 1.5 for d in delays)
+        assert len(delays) > 1, "jitter must vary across cells"
+
+
+class TestClaimLifecycle:
+    def test_ensure_is_idempotent(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        assert queue.ensure(_cells())["inserted"] == 3
+        assert queue.ensure(_cells())["inserted"] == 0
+        assert queue.counts() == {
+            "pending": 3, "leased": 0, "done": 0, "poisoned": 0,
+        }
+
+    def test_claim_follows_expansion_order_and_leases_exclusively(
+        self, tmp_path
+    ):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.ensure(_cells())
+        first = queue.claim("w1")
+        second = queue.claim("w2")
+        assert first.cell_id == "selftest--cell=0"
+        assert second.cell_id == "selftest--cell=1"
+        assert first.attempts == 1 and first.lease_owner == "w1"
+        # Third claim gets the last cell; fourth gets nothing.
+        assert queue.claim("w3").cell_id == "selftest--cell=2"
+        assert queue.claim("w4") is None
+
+    def test_ack_completes_and_drains(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.ensure(_cells(1))
+        task = queue.claim("w1")
+        assert not queue.drained()
+        assert queue.ack(task.cell_id, "w1", "ok") is True
+        done = queue.get(task.cell_id)
+        assert done.state == "done" and done.result_status == "ok"
+        assert done.lease_owner is None
+        assert queue.drained()
+
+    def test_fail_requeues_with_backoff(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.ensure(_cells(1))
+        task = queue.claim("w1")
+        assert queue.fail(task.cell_id, "w1", "boom") == "requeued"
+        again = queue.get(task.cell_id)
+        assert again.state == "pending"
+        assert [f["error"] for f in again.failures] == ["boom"]
+        # Inside the backoff window the cell is not claimable...
+        assert queue.claim("w1") is None
+        # ...but it is once the (capped, jittered) delay elapses.
+        clock.advance(queue.config.backoff_cap
+                      * (1.0 + queue.config.backoff_jitter) + 0.01)
+        retry = queue.claim("w1")
+        assert retry.cell_id == task.cell_id and retry.attempts == 2
+
+    def test_heartbeat_keeps_a_lease_alive(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.ensure(_cells(1))
+        task = queue.claim("w1")
+        clock.advance(8.0)
+        assert queue.heartbeat(task.cell_id, "w1") is True
+        clock.advance(8.0)  # 16s since claim, but only 8 since heartbeat
+        assert queue.claim("w2") is None, "heartbeaten lease must hold"
+        assert queue.heartbeat(task.cell_id, "other-worker") is False
+
+
+class TestLeaseRecovery:
+    def test_expired_lease_requeues_with_forensics(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.ensure(_cells(1))
+        task = queue.claim("w1")
+        clock.advance(queue.config.lease_ttl + 1)
+        # The next claim recovers the expired lease — but backoff
+        # applies, so the recovering claim itself comes up empty and a
+        # later one picks the cell up.
+        assert queue.claim("w2") is None
+        clock.advance(queue.config.backoff_cap * 2)
+        reclaimed = queue.claim("w2")
+        assert reclaimed.cell_id == task.cell_id
+        assert reclaimed.attempts == 2
+        assert "lease expired" in reclaimed.failures[0]["error"]
+        assert "'w1'" in reclaimed.failures[0]["error"]
+
+    def test_stale_worker_ack_and_fail_are_noops(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.ensure(_cells(1))
+        task = queue.claim("w1")
+        clock.advance(queue.config.lease_ttl + 1)
+        assert queue.claim("w2") is None  # recovery + backoff window
+        clock.advance(queue.config.backoff_cap * 2)
+        reclaimed = queue.claim("w2")
+        assert reclaimed is not None
+        # w1 wakes up from the dead: its verdicts must not disturb w2.
+        assert queue.ack(task.cell_id, "w1", "ok") is False
+        assert queue.fail(task.cell_id, "w1", "late") == "stale"
+        assert queue.get(task.cell_id).lease_owner == "w2"
+
+    def test_repeated_expiry_poisons_at_max_attempts(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock, max_attempts=2)
+        queue.ensure(_cells(1))
+        for worker in ("w1", "w2"):
+            task = queue.claim(worker)
+            assert task is not None, f"{worker} should have claimed"
+            clock.advance(queue.config.lease_ttl + 1)
+            queue.claim("gc")  # recovers the expired lease
+            clock.advance(queue.config.backoff_cap * 2)
+        assert queue.claim("w3") is None
+        poisoned = queue.get("selftest--cell=0")
+        assert poisoned.state == "poisoned"
+        assert len(poisoned.failures) == 2
+        assert queue.drained(), "poisoned cells do not block the drain"
+
+    def test_drained_recovers_expired_leases_first(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.ensure(_cells(1))
+        queue.claim("w1")
+        clock.advance(queue.config.lease_ttl + 1)
+        # The sole worker was SIGKILLed: drained() must not report an
+        # empty queue just because nothing is pending *right now*.
+        assert queue.drained() is False
+        assert queue.get("selftest--cell=0").state == "pending"
+
+
+class TestQuarantine:
+    def test_fail_poisons_after_max_attempts_preserving_tracebacks(
+        self, tmp_path
+    ):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock, max_attempts=3)
+        queue.ensure(_cells(1))
+        outcomes = []
+        for attempt in range(1, 4):
+            clock.advance(queue.config.backoff_cap * 2)
+            task = queue.claim("w1")
+            assert task.attempts == attempt
+            outcomes.append(
+                queue.fail(task.cell_id, "w1", f"traceback {attempt}")
+            )
+        assert outcomes == ["requeued", "requeued", "poisoned"]
+        poisoned = queue.get("selftest--cell=0")
+        assert poisoned.state == "poisoned"
+        assert [f["error"] for f in poisoned.failures] == [
+            "traceback 1", "traceback 2", "traceback 3",
+        ]
+        assert queue.claim("w2") is None
+
+    def test_reset_returns_poisoned_cells_to_fresh_pending(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock, max_attempts=1)
+        queue.ensure(_cells(1))
+        task = queue.claim("w1")
+        assert queue.fail(task.cell_id, "w1", "boom") == "poisoned"
+        assert queue.reset([task.cell_id]) == 1
+        fresh = queue.get(task.cell_id)
+        assert fresh.state == "pending"
+        assert fresh.attempts == 0 and fresh.failures == ()
+        assert queue.claim("w1").attempts == 1
+
+
+class TestReconciliation:
+    def test_ensure_completes_tasks_with_published_records(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.ensure(_cells(2))
+        queue.claim("w1")  # leased, then the worker dies post-publish
+        records = {"selftest--cell=0": {"status": "ok"}}
+        repaired = queue.ensure(_cells(2), records.get)
+        assert repaired["completed"] == 1
+        assert queue.get("selftest--cell=0").state == "done"
+        assert queue.get("selftest--cell=1").state == "pending"
+
+    def test_ensure_requeues_done_tasks_with_missing_records(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.ensure(_cells(1))
+        task = queue.claim("w1")
+        queue.ack(task.cell_id, "w1", "ok")
+        repaired = queue.ensure(_cells(1), lambda cell_id: None)
+        assert repaired["requeued"] == 1
+        assert queue.get(task.cell_id).state == "pending"
+
+    def test_audit_requeues_done_tasks_whose_record_rotted(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.ensure(_cells(2))
+        for _ in range(2):
+            task = queue.claim("w1")
+            queue.ack(task.cell_id, "w1", "ok")
+        records = {"selftest--cell=1": {"status": "ok"}}
+        assert queue.audit(records.get) == ["selftest--cell=0"]
+        assert queue.get("selftest--cell=0").state == "pending"
+        assert queue.get("selftest--cell=1").state == "done"
+
+
+class TestCorruption:
+    def test_garbage_database_raises_queue_corruption(self, tmp_path):
+        with open(queue_path(str(tmp_path)), "w") as handle:
+            handle.write("this is not sqlite")
+        queue = CellQueue(str(tmp_path))
+        with pytest.raises(QueueCorruption):
+            queue.counts()
+        queue.close()
+
+    def test_destroy_then_rebuild(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.ensure(_cells(2))
+        queue.close()
+        with open(queue_path(str(tmp_path)), "w") as handle:
+            handle.write("garbage")
+        assert CellQueue.destroy(str(tmp_path)) is True
+        rebuilt = _queue(tmp_path, clock)
+        assert rebuilt.ensure(_cells(2))["inserted"] == 2
+        rebuilt.close()
+
+    def test_tasks_survive_reopen(self, tmp_path):
+        clock = FakeClock()
+        queue = _queue(tmp_path, clock)
+        queue.ensure(_cells(2))
+        task = queue.claim("w1")
+        queue.ack(task.cell_id, "w1", "ok")
+        queue.close()
+        reopened = _queue(tmp_path, clock)
+        assert reopened.counts() == {
+            "pending": 1, "leased": 0, "done": 1, "poisoned": 0,
+        }
+        assert json.loads(
+            json.dumps(reopened.get(task.cell_id).params)
+        ) == {"cell": 0}
+        reopened.close()
