@@ -27,6 +27,12 @@ trajectory to beat.  Three sections:
 * **solver_reuse** — CEGAR-style repeated assumption solves on one
   incremental solver (warm watch lists / learned-clause arena) versus
   the seed-revision baseline driven identically.
+* **sat_attack** — the incremental DIP loop (one persistent solver per
+  attack, ``mode="incremental"``) versus the classic from-scratch loop
+  (``mode="scratch"``, re-encode the whole grown miter every iteration)
+  on seeded locked circuits, end to end.  Reports attack wall time and
+  iterations/s; gated on status agreement plus an exhaustive
+  equivalence check that both recovered keys unlock the circuit.
 * **scope_sweep** — the SCOPE per-key sweep with the structural memo
   (cone walks + pinned features, ``repro.netlist.cone``) disabled (cold)
   versus enabled (warm); guesses must be identical and the warm sweep is
@@ -274,6 +280,88 @@ def bench_solver_reuse(circuits, rounds=24, repeat=3):
             else float("inf")
         ),
     }
+
+
+def _attack_host(n_inputs=8, n_gates=60, n_outputs=3, seed=9):
+    """Seeded random DAG host for the sat_attack section.
+
+    Registry hosts keep >= 12 key bits at every scale (so the paper's
+    OoT behaviour survives scaling), which is exactly wrong for a bench
+    that must run both loops to completion — so this section locks a
+    small local host instead.
+    """
+    import random as _random
+
+    from repro.netlist import Circuit
+
+    rng = _random.Random(("bench-sat-attack", seed, n_inputs, n_gates).__str__())
+    circuit = Circuit(f"satbench{seed}")
+    signals = [circuit.add_input(f"x{i}") for i in range(n_inputs)]
+    choices = ["AND", "OR", "NAND", "NOR", "XOR", "XNOR"]
+    for g in range(n_gates):
+        a, b = rng.sample(signals, 2)
+        circuit.add_gate(f"g{g}", rng.choice(choices), (a, b))
+        signals.append(f"g{g}")
+    circuit.set_outputs(signals[-n_outputs:])
+    return circuit.validate()
+
+
+def bench_sat_attack(repeat):
+    """End-to-end sat_attack: persistent incremental solver vs scratch."""
+    from repro.attacks.sat_attack import sat_attack
+
+    rows = []
+    for technique, key_width in [("xor_lock", 8), ("sarlock", 5)]:
+        host = _attack_host()
+        locked = TECHNIQUES[technique](host, key_width, seed=9)
+        data_inputs = [
+            s for s in locked.circuit.inputs
+            if s not in set(locked.key_inputs)
+        ]
+        want, _ = locked.original.compiled().exhaustive_outputs(data_inputs)
+
+        def unlocks(key):
+            if not key:
+                return False
+            got, _ = locked.circuit.compiled().exhaustive_outputs(
+                data_inputs, fixed={k: bool(v) for k, v in key.items()}
+            )
+            return got == want
+
+        def run(mode):
+            best = None
+            for _ in range(max(1, repeat)):
+                oracle = Oracle(locked.original)
+                with Timer() as t:
+                    result = sat_attack(
+                        locked.circuit, locked.key_inputs, oracle,
+                        time_limit=None, mode=mode, technique=technique,
+                    )
+                if best is None or t.elapsed < best[0]:
+                    best = (t.elapsed, result)
+            return best
+
+        inc_s, inc = run("incremental")
+        scr_s, scr = run("scratch")
+        rows.append(
+            {
+                "technique": technique,
+                "key_width": key_width,
+                "gates": locked.circuit.num_gates,
+                "iterations": inc.iterations,
+                "scratch_iterations": scr.iterations,
+                "incremental_s": inc_s,
+                "scratch_s": scr_s,
+                "speedup": scr_s / inc_s if inc_s else float("inf"),
+                "incremental_iters_per_s": rate(inc.iterations, inc_s),
+                "scratch_iters_per_s": rate(scr.iterations, scr_s),
+                "status_agreement": (
+                    (inc.success, inc.timed_out) == (scr.success, scr.timed_out)
+                ),
+                "keys_functional": unlocks(inc.key) and unlocks(scr.key),
+            }
+        )
+    return rows
 
 
 def _random_3sat(num_vars, seed, ratio=4.2):
@@ -540,6 +628,16 @@ def main(argv=None):
         f"{solver_reuse['prop_rate_ratio']:.2f}x vs seed "
         f"(agreement={solver_reuse['status_agreement']})"
     )
+    sat_attack_rows = bench_sat_attack(args.repeat)
+    for row in sat_attack_rows:
+        print(
+            f"  sat-attack {row['technique']:>8}/k{row['key_width']}: "
+            f"{row['speedup']:5.1f}x incremental "
+            f"({row['scratch_s']:.3f}s -> {row['incremental_s']:.3f}s, "
+            f"{row['iterations']} iters, "
+            f"agreement={row['status_agreement']}, "
+            f"keys_ok={row['keys_functional']})"
+        )
     flow = [] if args.skip_flow else bench_kratt_flow(circuits)
     for row in flow:
         print(
@@ -571,6 +669,7 @@ def main(argv=None):
         "autotune": autotune,
         "solver": solver,
         "solver_reuse": solver_reuse,
+        "sat_attack": sat_attack_rows,
         "kratt_flow": flow,
         "scope_sweep": scope_sweep,
         "prep_store": prep_store,
@@ -595,6 +694,13 @@ def main(argv=None):
             "solver_status_agreement": all(r["status_agreement"] for r in solver),
             "solver_reuse_prop_rate_ratio": solver_reuse["prop_rate_ratio"],
             "solver_reuse_status_agreement": solver_reuse["status_agreement"],
+            "sat_attack_min_speedup": min(
+                r["speedup"] for r in sat_attack_rows
+            ),
+            "sat_attack_status_agreement": all(
+                r["status_agreement"] and r["keys_functional"]
+                for r in sat_attack_rows
+            ),
             "scope_sweep_min_speedup": min(r["speedup"] for r in scope_sweep),
             "scope_sweep_guesses_identical": all(
                 r["guesses_identical"] for r in scope_sweep
@@ -622,6 +728,9 @@ def main(argv=None):
         return 1
     if not payload["summary"]["solver_reuse_status_agreement"]:
         print("FATAL: incremental solver reuse changed solve outcomes")
+        return 1
+    if not payload["summary"]["sat_attack_status_agreement"]:
+        print("FATAL: incremental sat_attack disagrees with the scratch loop")
         return 1
     if not payload["summary"]["scope_sweep_guesses_identical"]:
         print("FATAL: memoized SCOPE sweep changed the guesses")

@@ -2,7 +2,7 @@
 
 from .appsat import appsat_attack
 from .ddip import ddip_attack
-from .dip import DipEngine
+from .dip import DipEngine, ScratchDipEngine, make_dip_engine, resolve_dip_mode
 from .kratt import kratt_og_attack, kratt_ol_attack
 from .metrics import AttackResult, KeyScore, complete_partial_key, score_key
 from .oracle import Oracle
@@ -20,6 +20,9 @@ __all__ = [
     "score_key",
     "complete_partial_key",
     "DipEngine",
+    "ScratchDipEngine",
+    "make_dip_engine",
+    "resolve_dip_mode",
     "sat_attack",
     "ddip_attack",
     "appsat_attack",

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 
 from ..budget import Deadline
-from .dip import DipEngine
+from .dip import make_dip_engine, resolve_dip_mode
 from .metrics import AttackResult
 
 __all__ = ["appsat_attack"]
@@ -35,6 +35,7 @@ def appsat_attack(
     settle_rounds=2,
     seed=0,
     technique="?",
+    mode=None,
 ):
     """Run AppSAT.
 
@@ -49,12 +50,15 @@ def appsat_attack(
         candidate key settled (approximate termination).
 
     ``time_limit`` is float seconds or a shared
-    :class:`repro.budget.Deadline` bounding every solver call.
+    :class:`repro.budget.Deadline` bounding every solver call.  ``mode``
+    selects the DIP engine (``incremental``/``scratch``, see
+    :mod:`repro.attacks.dip`).
     """
     deadline = Deadline.of(time_limit)
     start = deadline.now()
+    mode = resolve_dip_mode(mode)
     rng = random.Random(("appsat", seed, circuit.name).__str__())
-    engine = DipEngine(circuit, key_inputs)
+    engine = make_dip_engine(circuit, key_inputs, mode=mode)
     iterations = 0
     clean_rounds = 0
     queries_before = oracle.query_count
@@ -71,7 +75,7 @@ def appsat_attack(
             elapsed=deadline.now() - start,
             time_limit=deadline.limit,
             oracle_queries=oracle.query_count - queries_before,
-            details={"approximate": approximate},
+            details={"approximate": approximate, "mode": mode},
         )
 
     key_set = set(key_inputs)

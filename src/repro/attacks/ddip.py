@@ -5,12 +5,16 @@ eliminate at least *two* wrong keys, by solving for two distinct key
 pairs that disagree on the same distinguishing input.  Against one-point
 corruption schemes (SARLock et al.) this halves the iteration count —
 still exponential, hence the OoT entries of Table III.
+
+Like :func:`repro.attacks.sat_attack.sat_attack`, the loop holds one
+persistent solver by default (``mode="incremental"``); ``"scratch"``
+selects the re-encode-per-iteration reference engine.
 """
 
 from __future__ import annotations
 
 from ..budget import Deadline
-from .dip import DipEngine
+from .dip import make_dip_engine, resolve_dip_mode
 from .metrics import AttackResult
 
 __all__ = ["ddip_attack"]
@@ -23,6 +27,9 @@ def ddip_attack(
     time_limit=60.0,
     max_iterations=None,
     technique="?",
+    mode=None,
+    canonical=False,
+    record_dips=False,
 ):
     """Run the Double-DIP attack.
 
@@ -30,16 +37,27 @@ def ddip_attack(
     budget allows — immediately finds and resolves a *second* DIP before
     the next satisfiability check, eliminating at least two wrong keys
     per round on point-function locks.  ``time_limit`` is float seconds
-    or a shared :class:`repro.budget.Deadline`.
+    or a shared :class:`repro.budget.Deadline`.  ``mode`` /
+    ``canonical`` / ``record_dips`` behave exactly as in
+    :func:`~repro.attacks.sat_attack.sat_attack`.
     """
     deadline = Deadline.of(time_limit)
     start = deadline.now()
-    engine = DipEngine(circuit, key_inputs)
+    mode = resolve_dip_mode(mode)
+    engine = make_dip_engine(circuit, key_inputs, mode=mode)
     iterations = 0
     queries_before = oracle.query_count
+    dips = [] if record_dips else None
+
+    def details(extra=None):
+        d = {"mode": mode}
+        if dips is not None:
+            d["dips"] = list(dips)
+        if extra:
+            d.update(extra)
+        return d
 
     def timed_out_result(reason=None):
-        details = {"reason": reason} if reason else {}
         return AttackResult(
             attack="ddip",
             technique=technique,
@@ -49,7 +67,7 @@ def ddip_attack(
             elapsed=deadline.now() - start,
             time_limit=deadline.limit,
             oracle_queries=oracle.query_count - queries_before,
-            details=details,
+            details=details({"reason": reason} if reason else None),
         )
 
     settled = False
@@ -63,16 +81,21 @@ def ddip_attack(
         for _ in range(2):
             if deadline.expired():
                 return timed_out_result()
-            status, x = engine.find_dip(time_limit=deadline)
+            status, x = engine.find_dip(time_limit=deadline, canonical=canonical)
             if status is None:
                 return timed_out_result()
             if status is False:
                 settled = True
                 break
             y = oracle.query(x)
+            if dips is not None:
+                dips.append((
+                    tuple(bool(x[s]) for s in engine.data_inputs),
+                    tuple(bool(y[o]) for o in circuit.outputs),
+                ))
             engine.add_io_constraint(x, y)
 
-    key = engine.extract_key(time_limit=deadline)
+    key = engine.extract_key(time_limit=deadline, canonical=canonical)
     return AttackResult(
         attack="ddip",
         technique=technique,
@@ -84,4 +107,5 @@ def ddip_attack(
         elapsed=deadline.now() - start,
         time_limit=deadline.limit,
         oracle_queries=oracle.query_count - queries_before,
+        details=details(),
     )

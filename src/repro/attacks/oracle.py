@@ -24,6 +24,27 @@ class Oracle:
     def __init__(self, circuit):
         self._circuit = circuit
         self.query_count = 0
+        self._pack = None  # (engine, input-position map), built lazily
+        self.pack_builds = 0  # times the pack was (re)derived
+
+    def _prepared(self):
+        """Engine + input-position pattern pack, derived once.
+
+        The DIP loops query the oracle every iteration; deriving the
+        input-position map (and re-fetching the compiled engine) per
+        query was measurable loop overhead.  The pack is keyed to the
+        circuit's current compiled engine, so a (never expected)
+        mutation of the oracle circuit still re-derives it instead of
+        serving stale positions.
+        """
+        engine = self._circuit.compiled()
+        pack = self._pack
+        if pack is None or pack[0] is not engine:
+            pos = {name: i for i, name in enumerate(engine.input_names)}
+            pack = (engine, pos)
+            self._pack = pack
+            self.pack_builds += 1
+        return pack
 
     @property
     def input_names(self):
@@ -41,10 +62,9 @@ class Oracle:
         (KRATT drives non-protected inputs to logic 0, matching the
         paper's exhaustive-search step).
         """
-        engine = self._circuit.compiled()
+        engine, pos = self._prepared()
         base = 1 if defaults else 0
         words = [base] * len(engine.input_names)
-        pos = {name: i for i, name in enumerate(engine.input_names)}
         for name, value in assignment.items():
             i = pos.get(name)
             if i is not None:
@@ -64,7 +84,7 @@ class Oracle:
         """
         if not patterns:
             return []
-        engine = self._circuit.compiled()
+        engine, _ = self._prepared()
         # An oracle is queried for the whole life of an attack: let the
         # native backend engage now (its cost model still applies) rather
         # than after the organic run threshold.

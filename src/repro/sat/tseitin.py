@@ -12,7 +12,58 @@ from __future__ import annotations
 from ..netlist.gate import GateType
 from .cnf import CNF
 
-__all__ = ["encode_circuit", "encode_gate_clauses", "encode_into_solver"]
+__all__ = [
+    "VarRegistry",
+    "encode_circuit",
+    "encode_gate_clauses",
+    "encode_into_solver",
+]
+
+
+class VarRegistry:
+    """Stable map from qualified signal names to solver variables.
+
+    One registry per persistent solver instance: every copy the
+    incremental attacks encode (``"<signal><suffix>"``) and every shared
+    variable registered through :meth:`bind` allocates its solver
+    variable exactly once, here.  Allocation is append-only — a name
+    never changes its variable and the variable count never shrinks —
+    which is what makes Tseitin allocation reproducible across
+    iterations, runs, and process start methods, and lets the
+    differential tests compare maps between the incremental and
+    from-scratch engines directly.
+    """
+
+    def __init__(self, solver):
+        self.solver = solver
+        self._vars = {}
+
+    def bind(self, name, var):
+        """Register an externally allocated variable under ``name``."""
+        existing = self._vars.get(name)
+        if existing is not None and existing != var:
+            raise ValueError(
+                f"registry rebind for {name!r}: {existing} -> {var}"
+            )
+        self._vars[name] = var
+        return var
+
+    def var(self, name):
+        """Variable for ``name``, allocating it on first use."""
+        v = self._vars.get(name)
+        if v is None:
+            v = self._vars[name] = self.solver.new_var()
+        return v
+
+    def __contains__(self, name):
+        return name in self._vars
+
+    def __len__(self):
+        return len(self._vars)
+
+    def snapshot(self):
+        """Copy of the full name -> variable map (test observability)."""
+        return dict(self._vars)
 
 
 def _and_clauses(out, ins):
@@ -63,7 +114,8 @@ def encode_gate_clauses(cnf, gtype, out_var, in_vars):
         raise ValueError(f"cannot encode gate type {gtype}")
 
 
-def encode_into_solver(solver, circuit, shared_vars, fix=None, suffix="", skip_gates=()):
+def encode_into_solver(solver, circuit, shared_vars, fix=None, suffix="",
+                       skip_gates=(), registry=None):
     """Encode one circuit copy directly into a :class:`Solver`.
 
     ``shared_vars`` maps signal names that must be shared across copies
@@ -71,6 +123,13 @@ def encode_into_solver(solver, circuit, shared_vars, fix=None, suffix="", skip_g
     signals get fresh variables (distinct per ``suffix``).  ``fix``
     optionally pins input signals to constants.  Returns a dict with the
     solver variable of every signal in this copy.
+
+    ``registry`` (a :class:`VarRegistry` over the same solver) makes the
+    local allocation persistent: copy-local variables are looked up by
+    their qualified name ``signal + suffix``, so a persistent caller's
+    allocation is stable and inspectable across iterations.  Without a
+    registry the local map lives only for this call (allocation is still
+    deterministic — topological order — just not observable).
 
     This is the workhorse of the incremental attacks (SAT attack, DDIP,
     AppSAT) and the QBF CEGAR loop, which all grow one formula by
@@ -84,6 +143,8 @@ def encode_into_solver(solver, circuit, shared_vars, fix=None, suffix="", skip_g
         if name in shared_vars:
             return shared_vars[name]
         key = name + suffix
+        if registry is not None:
+            return registry.var(key)
         if key not in local:
             local[key] = solver.new_var()
         return local[key]

@@ -154,6 +154,71 @@ def test_repeated_mutation_keeps_paths_in_lockstep():
 
 
 # ----------------------------------------------------------------------
+# Oracle pattern-pack hoist (ISSUE-7): the input-position scaffolding is
+# derived once per oracle, not once per attack iteration — and the
+# cached pack must be bit-identical to per-call re-derivation.
+# ----------------------------------------------------------------------
+
+
+def _oracle_patterns(circuit, count, seed, partial=False):
+    rng = random.Random(("oracle-pack", seed, partial).__str__())
+    names = list(circuit.inputs)
+    patterns = []
+    for _ in range(count):
+        chosen = names if not partial else rng.sample(
+            names, rng.randint(0, len(names))
+        )
+        patterns.append({n: bool(rng.getrandbits(1)) for n in chosen})
+    return patterns
+
+
+@pytest.mark.parametrize("seed", range(3))
+@pytest.mark.parametrize("partial", [False, True])
+def test_oracle_cached_pack_bit_identical_to_fresh_derivation(seed, partial):
+    from repro.attacks.oracle import Oracle
+
+    circuit = build_random_circuit(n_inputs=7, n_gates=40, n_outputs=4, seed=seed)
+    patterns = _oracle_patterns(circuit, 12, seed, partial=partial)
+
+    cached = Oracle(circuit)
+    got = [cached.query(p) for p in patterns]
+    # The hoist really happened: one pack derivation served every query.
+    assert cached.pack_builds == 1
+
+    fresh = [Oracle(circuit).query(p) for p in patterns]
+    assert got == fresh
+
+    # Batch path shares the same pack and the same bits.
+    assert cached.query_batch(patterns) == got
+    assert cached.pack_builds == 1
+
+    # Reference semantics: each query equals the interpreted evaluation
+    # of the fully-defaulted assignment.
+    for pattern, y in zip(patterns, got):
+        assignment = {n: 0 for n in circuit.inputs}
+        assignment.update({n: int(v) for n, v in pattern.items()})
+        ref = circuit.evaluate_interpreted(assignment, 1, outputs_only=True)
+        assert y == {o: ref[o] & 1 for o in circuit.outputs}
+
+
+def test_oracle_pack_rederives_after_circuit_mutation():
+    """Defensive: a mutated oracle circuit invalidates the pack (keyed to
+    the compiled engine) instead of serving stale input positions."""
+    from repro.attacks.oracle import Oracle
+
+    circuit = build_random_circuit(n_inputs=5, n_gates=15, n_outputs=2, seed=0)
+    oracle = Oracle(circuit)
+    pattern = {n: True for n in circuit.inputs}
+    oracle.query(pattern)
+    circuit.add_input("late_in")
+    circuit.add_gate("late_or", "OR", (list(circuit.inputs)[0], "late_in"))
+    circuit.set_outputs(list(circuit.outputs) + ["late_or"])
+    y = oracle.query({**pattern, "late_in": True})
+    assert oracle.pack_builds == 2
+    assert y["late_or"] == 1
+
+
+# ----------------------------------------------------------------------
 # native (C) backend vs the Python engine
 # ----------------------------------------------------------------------
 

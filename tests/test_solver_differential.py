@@ -96,3 +96,96 @@ def test_unsat_core_shape_trivial_contradiction():
     cnf.add_clause([-v])
     assert solve_cnf(cnf)[0] is False
     assert legacy.solve_cnf(cnf)[0] is False
+
+
+# ----------------------------------------------------------------------
+# Warm learned-clause reuse vs a fresh solver, on the miter CNFs the
+# incremental attack loop actually generates (ISSUE-7 regression).
+# ----------------------------------------------------------------------
+
+from factories import build_locked_circuit  # noqa: E402
+from repro.attacks import DipEngine, Oracle  # noqa: E402
+from repro.sat.solver import Solver  # noqa: E402
+
+
+class _RecordingSolver(Solver):
+    """Records the exact (clause, solve) operation sequence it serves."""
+
+    def __init__(self):
+        super().__init__()
+        self.events = []
+
+    def add_clause(self, literals):
+        self.events.append(("clause", tuple(literals)))
+        return super().add_clause(literals)
+
+    def solve(self, assumptions=(), max_conflicts=None, time_limit=None):
+        status = super().solve(
+            assumptions, max_conflicts=max_conflicts, time_limit=time_limit
+        )
+        self.events.append(("solve", tuple(assumptions), status))
+        return status
+
+
+def _attack_event_log(technique, seed, key_width=4):
+    """Drive the incremental DIP loop to completion, recording every
+    clause addition and every assumption probe the warm solver served."""
+    locked = build_locked_circuit(
+        technique, seed=seed, n_inputs=5, n_gates=14, key_width=key_width
+    )
+    engine = DipEngine(
+        locked.circuit, locked.key_inputs, solver_factory=_RecordingSolver
+    )
+    oracle = Oracle(locked.original)
+    while True:
+        status, x = engine.find_dip(canonical=True)
+        if status is not True:
+            break
+        engine.add_io_constraint(x, oracle.query(x))
+    engine.extract_key(canonical=True)
+    return engine.solver.events
+
+
+@pytest.mark.parametrize("technique", ["sarlock", "ttlock", "antisat"])
+@pytest.mark.parametrize("seed", range(3))
+def test_warm_assumption_probes_agree_with_fresh_solver(technique, seed):
+    """Every probe the warm solver answered (learned clauses, branching
+    heat, saved phases from all earlier probes intact) is re-asked to a
+    brand-new cold solver holding only the problem clauses added so far
+    — the statuses must match probe for probe."""
+    events = _attack_event_log(technique, seed)
+    assert sum(e[0] == "solve" for e in events) >= 3, (
+        "attack produced too few probes to be a test"
+    )
+    clauses_so_far = []
+    for event in events:
+        if event[0] == "clause":
+            clauses_so_far.append(list(event[1]))
+            continue
+        _, assumptions, warm_status = event
+        cold = Solver()
+        for clause in clauses_so_far:
+            cold.add_clause(clause)
+        cold_status = cold.solve(list(assumptions))
+        assert cold_status == warm_status, (
+            f"warm/fresh divergence on {technique} seed {seed}: "
+            f"assumptions={assumptions} warm={warm_status} cold={cold_status}"
+        )
+
+
+@pytest.mark.parametrize("seed", range(2))
+def test_warm_reuse_agrees_with_legacy_solver_on_attack_cnfs(seed):
+    """The same attack-generated probes, answered per-probe by a cold
+    *seed-revision* solver: cross-implementation status agreement on the
+    miter CNFs the attack actually generates."""
+    events = _attack_event_log("sarlock", seed)
+    clauses_so_far = []
+    for event in events:
+        if event[0] == "clause":
+            clauses_so_far.append(list(event[1]))
+            continue
+        _, assumptions, warm_status = event
+        cold = legacy.Solver()
+        for clause in clauses_so_far:
+            cold.add_clause(clause)
+        assert cold.solve(list(assumptions)) == warm_status

@@ -1,0 +1,161 @@
+"""Property tests: persistent-solver Tseitin allocation is stable.
+
+The incremental attack loop is only sound if variable allocation is a
+deterministic, append-only function of the encoding history:
+
+* re-running the same attack allocates the *identical* name -> variable
+  map and variable counts, in-process and across ``fork``/``spawn``;
+* across iterations the map only grows — no entry is ever remapped and
+  the variable count never shrinks;
+* the from-scratch engine's rebuilds reproduce the incremental engine's
+  numbering exactly (same encoding order, same registry discipline).
+
+Strategies draw from the ``tests/factories.py`` locked-circuit space the
+rest of the differential layer uses.
+"""
+
+import hashlib
+import multiprocessing
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from factories import build_locked_circuit
+from repro.attacks import DipEngine, Oracle, ScratchDipEngine
+from repro.sat.solver import Solver
+from repro.sat.tseitin import VarRegistry
+
+TECHNIQUES = ["antisat", "caslock", "sarlock", "ttlock", "cac"]
+
+locked_params = st.fixed_dictionaries(
+    {
+        "technique": st.sampled_from(TECHNIQUES),
+        "seed": st.integers(min_value=0, max_value=4),
+        "key_width": st.sampled_from([2, 4]),
+    }
+)
+
+
+def _locked(params):
+    return build_locked_circuit(
+        params["technique"], seed=params["seed"],
+        n_inputs=5, n_gates=12, key_width=params["key_width"],
+    )
+
+
+def _allocation_trail(params, iterations):
+    """(num_vars, snapshot) after construction and after each DIP step."""
+    locked = _locked(params)
+    engine = DipEngine(locked.circuit, locked.key_inputs)
+    oracle = Oracle(locked.original)
+    trail = [(engine.num_vars, engine.varmap_snapshot())]
+    for _ in range(iterations):
+        status, x = engine.find_dip(canonical=True)
+        if status is not True:
+            break
+        engine.add_io_constraint(x, oracle.query(x))
+        trail.append((engine.num_vars, engine.varmap_snapshot()))
+    return trail
+
+
+def _trail_digest(params, iterations):
+    blob = repr(
+        [(n, sorted(snap.items())) for n, snap in
+         _allocation_trail(params, iterations)]
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@given(params=locked_params, iterations=st.integers(min_value=0, max_value=3))
+@settings(max_examples=25, deadline=None)
+def test_allocation_monotone_and_stable_across_iterations(params, iterations):
+    trail = _allocation_trail(params, iterations)
+    for (prev_n, prev_snap), (cur_n, cur_snap) in zip(trail, trail[1:]):
+        assert cur_n >= prev_n, "variable count shrank across an iteration"
+        assert len(cur_snap) >= len(prev_snap)
+        for name, var in prev_snap.items():
+            assert cur_snap[name] == var, f"{name!r} was remapped"
+
+
+@given(params=locked_params, iterations=st.integers(min_value=0, max_value=3))
+@settings(max_examples=15, deadline=None)
+def test_allocation_identical_across_runs(params, iterations):
+    assert _allocation_trail(params, iterations) == _allocation_trail(
+        params, iterations
+    )
+
+
+@given(params=locked_params, iterations=st.integers(min_value=1, max_value=3))
+@settings(max_examples=10, deadline=None)
+def test_scratch_rebuild_reproduces_incremental_numbering(params, iterations):
+    """After identical observations, the cold rebuild's full variable
+    map equals the persistent solver's — the two engines literally share
+    an allocation, not just compatible semantics."""
+    locked = _locked(params)
+    inc = DipEngine(locked.circuit, locked.key_inputs)
+    scr = ScratchDipEngine(locked.circuit, locked.key_inputs)
+    oracle = Oracle(locked.original)
+    for _ in range(iterations):
+        status, x = inc.find_dip(canonical=True)
+        s_status, s_x = scr.find_dip(canonical=True)
+        assert status == s_status
+        if status is not True:
+            break
+        assert x == s_x
+        y = oracle.query(x)
+        inc.add_io_constraint(x, y)
+        scr.add_io_constraint(x, y)
+    # Force one more scratch build so its formula includes every copy.
+    scr.extract_key()
+    inc.extract_key()
+    assert scr.varmap_snapshot() == inc.varmap_snapshot()
+    assert scr.num_vars == inc.num_vars
+
+
+# Child entry point must be module-level so spawn contexts can import it.
+def _child_digest(args, queue):
+    queue.put(_trail_digest(*args))
+
+
+@pytest.mark.parametrize("ctx_name", ["fork", "spawn"])
+@pytest.mark.parametrize("technique", ["sarlock", "ttlock"])
+def test_allocation_identical_across_process_contexts(ctx_name, technique):
+    if ctx_name not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"start method {ctx_name!r} unavailable")
+    params = {"technique": technique, "seed": 2, "key_width": 4}
+    parent = _trail_digest(params, 3)
+    ctx = multiprocessing.get_context(ctx_name)
+    queue = ctx.Queue()
+    proc = ctx.Process(target=_child_digest, args=((params, 3), queue))
+    proc.start()
+    try:
+        child = queue.get(timeout=120)
+    finally:
+        proc.join(10)
+        if proc.is_alive():
+            proc.kill()
+    assert child == parent
+
+
+class TestVarRegistry:
+    def test_allocates_once_and_never_remaps(self):
+        solver = Solver()
+        reg = VarRegistry(solver)
+        a = reg.var("x")
+        assert reg.var("x") == a
+        assert "x" in reg and len(reg) == 1
+        b = reg.var("y")
+        assert b != a
+        assert reg.snapshot() == {"x": a, "y": b}
+        # Snapshots are copies, not views.
+        reg.snapshot()["x"] = 999
+        assert reg.var("x") == a
+
+    def test_bind_registers_external_vars_and_rejects_rebinds(self):
+        solver = Solver()
+        reg = VarRegistry(solver)
+        v = solver.new_var()
+        assert reg.bind("k", v) == v
+        assert reg.bind("k", v) == v  # idempotent
+        with pytest.raises(ValueError):
+            reg.bind("k", solver.new_var())
