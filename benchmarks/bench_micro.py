@@ -33,6 +33,12 @@ trajectory to beat.  Three sections:
   on seeded locked circuits, end to end.  Reports attack wall time and
   iterations/s; gated on status agreement plus an exhaustive
   equivalence check that both recovered keys unlock the circuit.
+* **corpus_attack** — ``sat_attack`` (incremental vs scratch) on a
+  locked checked-in ``.bench`` corpus netlist (``corpus:c432``), so the
+  file-backed circuit source is exercised end to end, not just the
+  generator registry.  The host has 36 primary inputs — past exhaustive
+  reach — so recovered keys are checked by random-pattern equivalence;
+  gated on status agreement plus both keys passing that check.
 * **scope_sweep** — the SCOPE per-key sweep with the structural memo
   (cone walks + pinned features, ``repro.netlist.cone``) disabled (cold)
   versus enabled (warm); guesses must be identical and the warm sweep is
@@ -364,6 +370,83 @@ def bench_sat_attack(repeat):
     return rows
 
 
+def bench_corpus_attack(repeat):
+    """sat_attack on a locked corpus (file-backed) netlist, end to end.
+
+    Unlike bench_sat_attack's local random host, the circuit here comes
+    through the ``repro.corpus`` registry from a checked-in ``.bench``
+    file, so resolve/parse/validate sit on the measured path.  With 36
+    data inputs an exhaustive unlock check is infeasible; recovered keys
+    are validated against the original on packed random patterns (not a
+    proof, but 2^:patterns: chances to disagree).
+    """
+    from repro.attacks.sat_attack import sat_attack
+    from repro.corpus import resolve_circuit
+    from repro.netlist.simulate import random_patterns
+
+    patterns = 256
+    rows = []
+    for circuit_id, technique, key_width in [("corpus:c432", "xor_lock", 8)]:
+        resolved = resolve_circuit(circuit_id)
+        locked = TECHNIQUES[technique](resolved.circuit, key_width, seed=17)
+        key_set = set(locked.key_inputs)
+        data_inputs = [s for s in locked.circuit.inputs if s not in key_set]
+        words, mask = random_patterns(
+            data_inputs, patterns, random.Random("bench-corpus-attack")
+        )
+        want = locked.original.evaluate_interpreted(
+            dict(words), mask, outputs_only=True
+        )
+
+        def unlocks(key):
+            if not key:
+                return False
+            assignment = dict(words)
+            for name, value in key.items():
+                assignment[name] = mask if value else 0
+            got = locked.circuit.evaluate_interpreted(
+                assignment, mask, outputs_only=True
+            )
+            return all(got[o] == want[o] for o in locked.original.outputs)
+
+        def run(mode):
+            best = None
+            for _ in range(max(1, repeat)):
+                oracle = Oracle(locked.original)
+                with Timer() as t:
+                    result = sat_attack(
+                        locked.circuit, locked.key_inputs, oracle,
+                        time_limit=None, mode=mode, technique=technique,
+                    )
+                if best is None or t.elapsed < best[0]:
+                    best = (t.elapsed, result)
+            return best
+
+        inc_s, inc = run("incremental")
+        scr_s, scr = run("scratch")
+        rows.append(
+            {
+                "circuit": resolved.id.qualified,
+                "digest": resolved.digest[:12],
+                "technique": technique,
+                "key_width": key_width,
+                "data_inputs": len(data_inputs),
+                "gates": locked.circuit.num_gates,
+                "check_patterns": patterns,
+                "iterations": inc.iterations,
+                "scratch_iterations": scr.iterations,
+                "incremental_s": inc_s,
+                "scratch_s": scr_s,
+                "speedup": scr_s / inc_s if inc_s else float("inf"),
+                "status_agreement": (
+                    (inc.success, inc.timed_out) == (scr.success, scr.timed_out)
+                ),
+                "keys_functional": unlocks(inc.key) and unlocks(scr.key),
+            }
+        )
+    return rows
+
+
 def _random_3sat(num_vars, seed, ratio=4.2):
     rng = random.Random(("bench3sat", seed, num_vars).__str__())
     clauses = []
@@ -638,6 +721,16 @@ def main(argv=None):
             f"agreement={row['status_agreement']}, "
             f"keys_ok={row['keys_functional']})"
         )
+    corpus_attack = bench_corpus_attack(args.repeat)
+    for row in corpus_attack:
+        print(
+            f"  corpus-attack {row['circuit']}/{row['technique']}"
+            f"/k{row['key_width']}: {row['speedup']:5.1f}x incremental "
+            f"({row['scratch_s']:.3f}s -> {row['incremental_s']:.3f}s, "
+            f"{row['iterations']} iters, "
+            f"agreement={row['status_agreement']}, "
+            f"keys_ok={row['keys_functional']})"
+        )
     flow = [] if args.skip_flow else bench_kratt_flow(circuits)
     for row in flow:
         print(
@@ -670,6 +763,7 @@ def main(argv=None):
         "solver": solver,
         "solver_reuse": solver_reuse,
         "sat_attack": sat_attack_rows,
+        "corpus_attack": corpus_attack,
         "kratt_flow": flow,
         "scope_sweep": scope_sweep,
         "prep_store": prep_store,
@@ -701,6 +795,13 @@ def main(argv=None):
                 r["status_agreement"] and r["keys_functional"]
                 for r in sat_attack_rows
             ),
+            "corpus_attack_min_speedup": min(
+                r["speedup"] for r in corpus_attack
+            ),
+            "corpus_attack_status_agreement": all(
+                r["status_agreement"] and r["keys_functional"]
+                for r in corpus_attack
+            ),
             "scope_sweep_min_speedup": min(r["speedup"] for r in scope_sweep),
             "scope_sweep_guesses_identical": all(
                 r["guesses_identical"] for r in scope_sweep
@@ -731,6 +832,10 @@ def main(argv=None):
         return 1
     if not payload["summary"]["sat_attack_status_agreement"]:
         print("FATAL: incremental sat_attack disagrees with the scratch loop")
+        return 1
+    if not payload["summary"]["corpus_attack_status_agreement"]:
+        print("FATAL: sat_attack on the corpus netlist disagrees or "
+              "recovered a non-functional key")
         return 1
     if not payload["summary"]["scope_sweep_guesses_identical"]:
         print("FATAL: memoized SCOPE sweep changed the guesses")

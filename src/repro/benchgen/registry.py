@@ -25,7 +25,14 @@ __all__ = ["CircuitSpec", "SPECS", "generate_host", "resolve_scale", "scaled_key
 
 @dataclass(frozen=True)
 class CircuitSpec:
-    """Published benchmark parameters (paper Tables I, IV, V)."""
+    """Published benchmark parameters (paper Tables I, IV, V).
+
+    ``source`` names the :mod:`repro.corpus` circuit source that provides
+    the netlist: ``"gen"`` for generated stand-ins (this registry),
+    ``"corpus"`` for file-backed ``.bench`` netlists.  Scale resolution
+    (``REPRO_SCALE`` shrinking) only applies to ``gen`` specs; corpus
+    netlists are fixed artifacts on disk.
+    """
 
     name: str
     inputs: int
@@ -33,7 +40,8 @@ class CircuitSpec:
     gates: int
     key_width: int
     family: str  # "iscas85" | "itc99" | "hello"
-    kind: str = "layered"  # "layered" | "multiplier"
+    kind: str = "layered"  # "layered" | "multiplier" | "bench"
+    source: str = "gen"  # "gen" | "corpus"
 
 
 #: Table I benchmarks (first experiment set).

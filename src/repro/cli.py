@@ -10,6 +10,8 @@ script driven on ``.bench`` files):
 * ``removal``  — run the removal attack / reconstruction;
 * ``info``     — print netlist statistics;
 * ``gen``      — emit one of the registered benchmark stand-ins;
+* ``circuits`` — list / show / verify the circuit-source registry
+  (generated stand-ins and the checked-in ``.bench`` corpus);
 * ``campaign`` — run/resume/inspect parallel attack campaigns over the
   paper's (circuit x technique x attack) grid (``--backend=queue``
   drains a durable work queue with lease recovery, retry/backoff and
@@ -143,6 +145,61 @@ def _cmd_gen(args):
     write_bench_file(circuit, args.output, header=f"{args.name} stand-in")
     print(f"wrote {args.output} ({circuit.num_gates} gates)")
     return 0
+
+
+def _cmd_circuits(args):
+    from .corpus import (
+        CorpusError,
+        list_circuits,
+        resolve_circuit,
+        sources,
+        verify_circuit,
+    )
+
+    try:
+        if args.circuits_command == "list":
+            rows = list_circuits(args.source)
+            print(json.dumps(rows, indent=2))
+            return 0
+        if args.circuits_command == "show":
+            resolved = resolve_circuit(args.id, scale=args.scale, seed=args.seed)
+            circuit = resolved.circuit
+            print(json.dumps({
+                "id": resolved.qualified,
+                "source": resolved.id.source,
+                "digest": resolved.digest,
+                "scale": resolved.scale,
+                "inputs": len(circuit.inputs),
+                "outputs": len(circuit.outputs),
+                "gates": circuit.num_gates,
+                "key_width": resolved.spec.key_width,
+                "family": resolved.spec.family,
+            }, indent=2))
+            if args.output:
+                write_bench_file(circuit, args.output,
+                                 header=f"{resolved.qualified} from registry")
+                print(f"wrote {args.output}")
+            return 0
+        # verify: named ids, or every circuit of every source by default.
+        ids = list(args.ids)
+        if not ids:
+            ids = [row["id"] for row in list_circuits(args.source)]
+        failures = 0
+        for cid in ids:
+            problems = verify_circuit(cid)
+            if problems:
+                failures += 1
+                print(f"FAIL {cid}")
+                for problem in problems:
+                    print(f"  - {problem}")
+            else:
+                print(f"ok   {cid}")
+        sources_checked = args.source or ",".join(sorted(sources()))
+        print(f"verified {len(ids)} circuits ({sources_checked}): "
+              f"{failures} failing")
+        return 1 if failures else 0
+    except CorpusError as exc:
+        raise SystemExit(f"circuits error: {exc}")
 
 
 def _csv(value):
@@ -457,6 +514,39 @@ def build_parser():
     p.add_argument("--scale", default=None)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=_cmd_gen)
+
+    p = sub.add_parser(
+        "circuits",
+        help="list / show / verify the circuit-source registry "
+             "(gen: stand-ins, corpus: checked-in .bench netlists)",
+    )
+    csub = p.add_subparsers(dest="circuits_command", required=True)
+
+    c = csub.add_parser("list", help="describe every known circuit as JSON")
+    c.add_argument("--source", choices=["gen", "corpus"], default=None,
+                   help="restrict to one source prefix")
+    c.set_defaults(func=_cmd_circuits)
+
+    c = csub.add_parser("show", help="resolve one circuit id and print its "
+                                     "interface + content digest")
+    c.add_argument("id", help="qualified id (corpus:c432, gen:b14_C) or "
+                              "bare name (aliases to gen:)")
+    c.add_argument("--scale", default=None, help="scale for gen: circuits")
+    c.add_argument("--seed", type=int, default=0)
+    c.add_argument("-o", "--output", default=None,
+                   help="also write the resolved netlist as .bench")
+    c.set_defaults(func=_cmd_circuits)
+
+    c = csub.add_parser(
+        "verify",
+        help="integrity-check circuits (corpus: manifest sha256 + strict "
+             "parse + round trip; gen: generation determinism)",
+    )
+    c.add_argument("ids", nargs="*",
+                   help="circuit ids to check (default: every circuit)")
+    c.add_argument("--source", choices=["gen", "corpus"], default=None,
+                   help="with no ids: restrict the sweep to one source")
+    c.set_defaults(func=_cmd_circuits)
 
     p = sub.add_parser(
         "campaign", help="run attack campaigns over the paper grid"

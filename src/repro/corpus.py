@@ -1,0 +1,491 @@
+"""Pluggable circuit-source registry: qualified ids -> circuits + digests.
+
+Every layer that consumes benchmark circuits — ``prepare_locked``, the
+prep store, the table cells, campaigns, the CLI — names them by a
+**qualified circuit id** ``<source>:<name>`` and receives, via this
+module, the resolved :class:`~repro.netlist.circuit.Circuit` together
+with a **content digest** that changes exactly when the resolved netlist
+would.  Two sources ship built in:
+
+* ``gen:`` — the generated ISCAS/ITC/HeLLO stand-ins of
+  :mod:`repro.benchgen.registry` (``gen:b14_C``).  Generation is a pure
+  function of ``(name, scale, seed)``, so the digest hashes those
+  parameters (plus a generator version) instead of materializing the
+  netlist; ``REPRO_SCALE`` shrinking applies to this source only.
+* ``corpus:`` — file-backed ``.bench`` netlists under
+  ``benchmarks/corpus/`` (``corpus:c432``), described by a
+  ``manifest.json`` next to them.  The digest is the SHA-256 of the file
+  bytes, so *editing a corpus netlist invalidates every cached
+  preparation derived from it*.  Loads are strict: the file must parse,
+  match the manifest's declared interface, and survive a
+  parse->emit->parse round trip gate-for-gate.
+
+Bare circuit names (``"b14_C"``) alias to ``gen:`` everywhere, so every
+pre-registry spec, test and campaign keeps working unchanged.
+
+Additional sources (remote corpora, locked-benchmark releases) register
+through :func:`register_source`; the contract is
+:class:`CircuitSource`'s four methods plus the digest invariant above.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+
+from .benchgen.registry import (
+    SPECS,
+    CircuitSpec,
+    generate_host,
+    resolve_scale,
+)
+from .netlist.bench import (
+    bench_round_trip_identical,
+    parse_bench,
+    write_bench,
+)
+from .netlist.errors import NetlistError
+
+__all__ = [
+    "CircuitId",
+    "CorpusError",
+    "CircuitSource",
+    "GeneratedSource",
+    "CorpusSource",
+    "ResolvedCircuit",
+    "DEFAULT_CORPUS_ROOT",
+    "MANIFEST_NAME",
+    "parse_circuit_id",
+    "qualify",
+    "get_source",
+    "register_source",
+    "sources",
+    "resolve_circuit",
+    "circuit_digest",
+    "circuit_spec",
+    "find_spec",
+    "list_circuits",
+    "verify_circuit",
+]
+
+#: Bumped when the *generated*-source pipeline changes in a way that
+#: alters emitted netlists; part of the ``gen:`` digest so stale prep
+#: entries stop matching.
+GENERATOR_VERSION = 1
+
+#: Default corpus landing zone, next to the campaign/bench results.
+DEFAULT_CORPUS_ROOT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks", "corpus",
+)
+
+MANIFEST_NAME = "manifest.json"
+
+
+class CorpusError(Exception):
+    """A circuit id cannot be resolved (unknown source/name, bad file)."""
+
+
+@dataclass(frozen=True)
+class CircuitId:
+    """A parsed qualified circuit id: ``<source>:<name>``."""
+
+    source: str
+    name: str
+
+    @property
+    def qualified(self):
+        return f"{self.source}:{self.name}"
+
+    def __str__(self):
+        return self.qualified
+
+
+def parse_circuit_id(value):
+    """Parse a circuit reference into a :class:`CircuitId`.
+
+    Accepts qualified ids (``"corpus:c432"``), bare names (``"b14_C"``,
+    aliased to ``gen:`` for backwards compatibility) and ``CircuitId``
+    instances (returned unchanged).  The source prefix is *not* checked
+    for existence here — :func:`get_source` does that at resolution time
+    so key-building helpers stay pure.
+    """
+    if isinstance(value, CircuitId):
+        return value
+    if not isinstance(value, str) or not value:
+        raise CorpusError(f"not a circuit id: {value!r}")
+    if ":" in value:
+        source, name = value.split(":", 1)
+        if not source or not name:
+            raise CorpusError(f"malformed circuit id {value!r}")
+        return CircuitId(source, name)
+    return CircuitId("gen", value)
+
+
+def qualify(value):
+    """The canonical qualified form of a circuit reference."""
+    return parse_circuit_id(value).qualified
+
+
+@dataclass(frozen=True)
+class ResolvedCircuit:
+    """One resolved circuit: identity, content, digest, and its spec."""
+
+    id: CircuitId
+    circuit: object  # Circuit
+    digest: str
+    spec: CircuitSpec
+    scale: str = None  # resolved scale for scaled sources, else None
+
+    @property
+    def qualified(self):
+        return self.id.qualified
+
+    def provenance(self):
+        """JSON-safe identity triple carried by cell records."""
+        return {
+            "id": self.qualified,
+            "source": self.id.source,
+            "digest": self.digest,
+        }
+
+
+class CircuitSource:
+    """Interface every circuit source implements.
+
+    ``prefix`` is the qualified-id namespace; ``scaled`` says whether
+    ``(scale, seed)`` participate in resolution (only the generated
+    source — corpus netlists are fixed artifacts, so scale and seed are
+    ignored and normalized out of cache keys).
+
+    The digest contract: ``digest(name, scale, seed)`` must change
+    whenever ``load(name, scale, seed)`` would return a different
+    netlist, and must be cheap enough to call on every cache probe.
+    """
+
+    prefix = None
+    scaled = False
+
+    def names(self):
+        raise NotImplementedError
+
+    def spec(self, name):
+        raise NotImplementedError
+
+    def digest(self, name, scale=None, seed=0):
+        raise NotImplementedError
+
+    def load(self, name, scale=None, seed=0):
+        raise NotImplementedError
+
+    # -- shared conveniences -------------------------------------------
+    def resolve(self, name, scale=None, seed=0):
+        eff_scale = resolve_scale(scale) if self.scaled else None
+        return ResolvedCircuit(
+            id=CircuitId(self.prefix, name),
+            circuit=self.load(name, scale=eff_scale, seed=seed),
+            digest=self.digest(name, scale=eff_scale, seed=seed),
+            spec=self.spec(name),
+            scale=eff_scale,
+        )
+
+    def describe(self, name):
+        """JSON-safe summary row for ``repro circuits list``."""
+        spec = self.spec(name)
+        return {
+            "id": f"{self.prefix}:{name}",
+            "source": self.prefix,
+            "family": spec.family,
+            "inputs": spec.inputs,
+            "outputs": spec.outputs,
+            "gates": spec.gates,
+            "key_width": spec.key_width,
+            "kind": spec.kind,
+        }
+
+    def verify(self, name):
+        """Integrity problems for one circuit (empty list = healthy)."""
+        raise NotImplementedError
+
+
+class GeneratedSource(CircuitSource):
+    """The ``gen:`` source: benchgen stand-ins, scale/seed resolved."""
+
+    prefix = "gen"
+    scaled = True
+
+    def names(self):
+        return sorted(SPECS)
+
+    def spec(self, name):
+        try:
+            return SPECS[name]
+        except KeyError:
+            raise CorpusError(
+                f"unknown generated circuit {name!r}; known: "
+                f"{', '.join(sorted(SPECS))}"
+            ) from None
+
+    def digest(self, name, scale=None, seed=0):
+        self.spec(name)  # unknown names fail here, not at generation
+        blob = json.dumps(
+            {
+                "source": self.prefix,
+                "name": name,
+                "scale": resolve_scale(scale),
+                "seed": seed,
+                "generator": GENERATOR_VERSION,
+            },
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def load(self, name, scale=None, seed=0):
+        self.spec(name)
+        return generate_host(name, scale=scale, seed=seed)
+
+    def verify(self, name):
+        """Generation must be deterministic: two loads, identical bytes."""
+        problems = []
+        try:
+            first = write_bench(self.load(name))
+            second = write_bench(self.load(name))
+        except Exception as exc:  # noqa: BLE001 - report, don't crash verify
+            return [f"generation failed: {exc}"]
+        if first != second:
+            problems.append("generation is not deterministic")
+        return problems
+
+
+class CorpusSource(CircuitSource):
+    """The ``corpus:`` source: checked-in ``.bench`` files + manifest.
+
+    Layout (override the directory with ``REPRO_CORPUS_DIR``)::
+
+        benchmarks/corpus/manifest.json
+        benchmarks/corpus/c432.bench
+        ...
+
+    The manifest maps each name to its file and declared interface::
+
+        {"circuits": {"c432": {"file": "c432.bench", "family": "iscas85",
+                               "inputs": 36, "outputs": 7, "gates": 160,
+                               "key_width": 12, "sha256": "..."}}}
+
+    ``sha256`` is advisory (checked by :meth:`verify`, not by every
+    load): the *live* digest is always hashed from the current file
+    bytes, so an edited netlist is a different circuit immediately.
+    """
+
+    prefix = "corpus"
+    scaled = False
+
+    def __init__(self, root=None):
+        self._root = root
+        self._manifest_cache = None  # (path, mtime, parsed)
+
+    @property
+    def root(self):
+        return (
+            self._root
+            or os.environ.get("REPRO_CORPUS_DIR")
+            or DEFAULT_CORPUS_ROOT
+        )
+
+    def manifest_path(self):
+        return os.path.join(self.root, MANIFEST_NAME)
+
+    def manifest(self):
+        """The parsed manifest, cached against the file's mtime."""
+        path = self.manifest_path()
+        try:
+            mtime = os.path.getmtime(path)
+        except OSError:
+            raise CorpusError(
+                f"no corpus manifest at {path} (set REPRO_CORPUS_DIR or "
+                "check out benchmarks/corpus/)"
+            ) from None
+        cached = self._manifest_cache
+        if cached is not None and cached[0] == path and cached[1] == mtime:
+            return cached[2]
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise CorpusError(f"unreadable corpus manifest {path}: {exc}") from None
+        circuits = data.get("circuits")
+        if not isinstance(circuits, dict):
+            raise CorpusError(f"corpus manifest {path} has no 'circuits' map")
+        self._manifest_cache = (path, mtime, circuits)
+        return circuits
+
+    def _entry(self, name):
+        circuits = self.manifest()
+        entry = circuits.get(name)
+        if entry is None:
+            raise CorpusError(
+                f"unknown corpus circuit {name!r}; known: "
+                f"{', '.join(sorted(circuits))}"
+            )
+        return entry
+
+    def path(self, name):
+        return os.path.join(self.root, self._entry(name)["file"])
+
+    def names(self):
+        return sorted(self.manifest())
+
+    def spec(self, name):
+        entry = self._entry(name)
+        return CircuitSpec(
+            name=name,
+            inputs=int(entry["inputs"]),
+            outputs=int(entry["outputs"]),
+            gates=int(entry["gates"]),
+            key_width=int(entry["key_width"]),
+            family=entry.get("family", "corpus"),
+            kind="bench",
+            source=self.prefix,
+        )
+
+    def _read(self, name):
+        path = self.path(name)
+        try:
+            with open(path, "rb") as handle:
+                return handle.read()
+        except OSError as exc:
+            raise CorpusError(f"unreadable corpus netlist {path}: {exc}") from None
+
+    def digest(self, name, scale=None, seed=0):
+        return hashlib.sha256(self._read(name)).hexdigest()
+
+    def load(self, name, scale=None, seed=0):
+        entry = self._entry(name)
+        text = self._read(name).decode("utf-8")
+        try:
+            circuit = parse_bench(text, name=name)
+        except NetlistError as exc:
+            raise CorpusError(
+                f"corpus netlist {self.path(name)} failed strict parse: {exc}"
+            ) from None
+        declared = (
+            int(entry["inputs"]), int(entry["outputs"]), int(entry["gates"])
+        )
+        actual = (len(circuit.inputs), len(circuit.outputs), circuit.num_gates)
+        if declared != actual:
+            raise CorpusError(
+                f"corpus netlist {name!r} does not match its manifest: "
+                f"declared (inputs, outputs, gates)={declared}, file has "
+                f"{actual} — update {self.manifest_path()} or the netlist"
+            )
+        return circuit
+
+    def verify(self, name):
+        """Full integrity check: parse, interface, digest, round trip."""
+        problems = []
+        try:
+            entry = self._entry(name)
+            raw = self._read(name)
+        except CorpusError as exc:
+            return [str(exc)]
+        declared_sha = entry.get("sha256")
+        actual_sha = hashlib.sha256(raw).hexdigest()
+        if declared_sha and declared_sha != actual_sha:
+            problems.append(
+                f"sha256 mismatch: manifest declares {declared_sha[:12]}..., "
+                f"file is {actual_sha[:12]}... (netlist edited without a "
+                "manifest update)"
+            )
+        try:
+            self.load(name)
+        except CorpusError as exc:
+            problems.append(str(exc))
+            return problems
+        identical, issues = bench_round_trip_identical(
+            raw.decode("utf-8"), name=name
+        )
+        if not identical:
+            problems.extend(f"round trip: {issue}" for issue in issues)
+        return problems
+
+
+_SOURCES = {}
+
+
+def register_source(source):
+    """Register a :class:`CircuitSource` under its ``prefix``."""
+    if not source.prefix:
+        raise CorpusError("circuit source must define a prefix")
+    _SOURCES[source.prefix] = source
+    return source
+
+
+register_source(GeneratedSource())
+register_source(CorpusSource())
+
+
+def sources():
+    """The live prefix -> :class:`CircuitSource` registry (read-only use)."""
+    return dict(_SOURCES)
+
+
+def get_source(prefix):
+    source = _SOURCES.get(prefix)
+    if source is None:
+        raise CorpusError(
+            f"unknown circuit source {prefix!r}; registered: "
+            f"{', '.join(sorted(_SOURCES))}"
+        )
+    return source
+
+
+def resolve_circuit(value, scale=None, seed=0):
+    """Resolve any circuit reference to a :class:`ResolvedCircuit`."""
+    cid = parse_circuit_id(value)
+    return get_source(cid.source).resolve(cid.name, scale=scale, seed=seed)
+
+
+def circuit_digest(value, scale=None, seed=0):
+    """The content digest of a circuit reference (no netlist build for
+    parameter-digested sources)."""
+    cid = parse_circuit_id(value)
+    source = get_source(cid.source)
+    eff_scale = resolve_scale(scale) if source.scaled else None
+    return source.digest(cid.name, scale=eff_scale, seed=seed)
+
+
+def circuit_spec(value):
+    """The :class:`CircuitSpec` for a circuit reference."""
+    cid = parse_circuit_id(value)
+    return get_source(cid.source).spec(cid.name)
+
+
+def find_spec(value):
+    """Like :func:`circuit_spec` but ``None`` instead of raising.
+
+    The prep-store deserializer uses this: a stored entry must stay
+    loadable even when its circuit has since left the registry/corpus.
+    """
+    try:
+        return circuit_spec(value)
+    except CorpusError:
+        return None
+
+
+def list_circuits(source=None):
+    """Describe every known circuit, across sources or for one prefix."""
+    prefixes = [source] if source else sorted(_SOURCES)
+    rows = []
+    for prefix in prefixes:
+        src = get_source(prefix)
+        for name in src.names():
+            rows.append(src.describe(name))
+    return rows
+
+
+def verify_circuit(value):
+    """Integrity problems for one circuit reference (empty = healthy)."""
+    cid = parse_circuit_id(value)
+    return get_source(cid.source).verify(cid.name)

@@ -488,6 +488,10 @@ def _run_cell_payload(payload):
         status, error = "ok", None
     except Exception:
         result, status, error = None, "error", traceback.format_exc()
+    # Cells that prepared a circuit report its provenance (qualified id,
+    # source, content digest); lift it into the canonical record so
+    # every backend persists it.
+    circuit = result.get("circuit") if isinstance(result, dict) else None
     return make_cell_record(
         artifact=artifact_name,
         params=params,
@@ -496,6 +500,7 @@ def _run_cell_payload(payload):
         error=error,
         elapsed=time.monotonic() - start,
         prep=_prep_delta(prep_before, prep_stats()),
+        circuit=circuit,
     )
 
 

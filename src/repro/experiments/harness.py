@@ -14,8 +14,9 @@ import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
-from ..benchgen.registry import generate_host, resolve_scale, scaled_key_width, SPECS
-from ..locking import TECHNIQUES
+from ..benchgen.registry import resolve_scale, scaled_key_width
+from ..corpus import get_source, parse_circuit_id, qualify
+from ..locking import TECHNIQUES, TECHNIQUE_EXTRA_PARAMS
 from ..synth.resynth import resynthesize
 from . import prepstore
 
@@ -23,6 +24,7 @@ __all__ = [
     "PreparedCircuit",
     "PrepCache",
     "prepare_locked",
+    "technique_params",
     "prep_cache_info",
     "clear_prep_cache",
     "prep_stats",
@@ -33,7 +35,15 @@ __all__ = [
 
 @dataclass
 class PreparedCircuit:
-    """A host + locked + synthesized triple ready for attacks."""
+    """A host + locked + synthesized triple ready for attacks.
+
+    ``circuit_id`` is the qualified id the host came from
+    (``"gen:b14_C"``, ``"corpus:c432"``), ``source`` its registry prefix,
+    and ``digest`` the host's content digest from :mod:`repro.corpus` —
+    together the provenance triple that campaign cell records persist.
+    ``scale`` is the resolved scale for scaled sources and ``None`` for
+    fixed corpus netlists.
+    """
 
     spec: object
     locked: object  # LockedCircuit ground truth
@@ -41,6 +51,17 @@ class PreparedCircuit:
     scale: str
     key_width: int
     prep_elapsed: float = 0.0
+    circuit_id: str = None
+    source: str = None
+    digest: str = None
+
+    def provenance(self):
+        """JSON-safe circuit identity carried by cell records."""
+        return {
+            "id": self.circuit_id,
+            "source": self.source,
+            "digest": self.digest,
+        }
 
 
 class Timer:
@@ -161,30 +182,56 @@ def prep_stats():
     return stats
 
 
-def _prep_key(circuit_name, technique, scale, seed, synth_seed, resynth, h):
+def technique_params(technique, h=None, params=None):
+    """Normalize a technique's extra locking parameters to a full dict.
+
+    Exactly the parameters declared in
+    :data:`~repro.locking.TECHNIQUE_EXTRA_PARAMS` come back, each at its
+    supplied value or its declared default; parameters a technique does
+    not declare are dropped (so ``prepare_locked("...", "sarlock", h=3)``
+    neither perturbs sarlock's cache key nor reaches its lock function).
+    ``h`` is the legacy spelling of ``params={"h": ...}`` and loses to an
+    explicit ``params`` entry.
+    """
+    declared = TECHNIQUE_EXTRA_PARAMS.get(technique, {})
+    supplied = dict(params or {})
+    if h is not None:
+        supplied.setdefault("h", h)
+    return {name: supplied.get(name, default) for name, default in declared.items()}
+
+
+def _prep_key(circuit_name, technique, scale, seed, synth_seed, resynth, h,
+              digest=None, params=None):
     """Canonical cache key covering every argument that changes the output.
 
-    ``h`` only reaches the locking function for SFLL-HD, where ``None``
-    means the default distance 1 — both facts are normalized here so
-    equivalent preparations share one entry while *differing* ones
-    (different ``resynth``, ``h``, or ``synth_seed``) can never alias.
+    ``circuit_name`` is qualified (bare names alias to ``gen:``) as a
+    pure string operation — no registry lookup happens here, so keys can
+    be built for circuits that are not (yet) resolvable.  ``digest`` is
+    the circuit's content digest when the caller has resolved one; extra
+    locking parameters are normalized per technique via
+    :func:`technique_params`, so equivalent preparations share one entry
+    while *differing* ones (different ``resynth``, ``h``/``cubes``, or
+    ``synth_seed``) can never alias.
     """
-    eff_h = (1 if h is None else h) if technique == "sfll_hd" else None
-    return (circuit_name, technique, scale, seed, synth_seed, bool(resynth), eff_h)
+    extras = tuple(sorted(technique_params(technique, h=h, params=params).items()))
+    return (qualify(circuit_name), digest, technique, scale, seed, synth_seed,
+            bool(resynth), extras)
 
 
-def _store_params(key):
+def _store_params(key, key_width):
     """The JSON-safe parameter dict hashed into the disk-store key."""
-    circuit_name, technique, scale, seed, synth_seed, resynth, eff_h = key
+    qualified, digest, technique, scale, seed, synth_seed, resynth, extras = key
     return {
-        "circuit": circuit_name,
+        "circuit": qualified,
+        "source": parse_circuit_id(qualified).source,
+        "digest": digest,
         "technique": technique,
         "scale": scale,
         "seed": seed,
         "synth_seed": synth_seed,
         "resynth": resynth,
-        "h": eff_h,
-        "key_width": SPECS[circuit_name].key_width,
+        "params": dict(extras),
+        "key_width": key_width,
         "recipe": _RESYNTH_RECIPE,
     }
 
@@ -197,16 +244,29 @@ def prepare_locked(
     synth_seed=1,
     resynth=True,
     h=None,
+    params=None,
     cache=True,
     store=None,
 ):
-    """Generate, lock, and resynthesize one benchmark circuit.
+    """Resolve, lock, and resynthesize one benchmark circuit.
 
     Mirrors the paper's setup: hosts locked at RTL, then synthesized "to
-    break the regular structure of the locking scheme".  Deterministic in
-    all arguments; results are memoized per process in a bounded LRU
-    (:class:`PrepCache`, the L1) over a cross-process, cross-campaign
-    disk store (:mod:`repro.experiments.prepstore`, the L2).
+    break the regular structure of the locking scheme".  ``circuit_name``
+    is any :mod:`repro.corpus` reference — a qualified id
+    (``"corpus:c432"``) or a bare name (``"c6288"``, aliased to
+    ``gen:``).  Hosts come from the circuit-source registry; the source's
+    content digest is part of both cache keys, so editing a corpus
+    netlist (or changing the generator) invalidates its cached
+    preparations.  Scale resolution applies to scaled (``gen:``) sources
+    only; corpus netlists are fixed artifacts and prepare identically
+    under every ``REPRO_SCALE``.
+
+    Deterministic in all arguments; results are memoized per process in
+    a bounded LRU (:class:`PrepCache`, the L1) over a cross-process,
+    cross-campaign disk store (:mod:`repro.experiments.prepstore`, the
+    L2).  ``params`` supplies technique-specific extras (``{"h": 2}``,
+    ``{"cubes": 3}``; see :func:`technique_params`); ``h`` remains as the
+    legacy spelling for SFLL-HD.
 
     ``store`` selects the L2: ``None`` uses the env-configured default,
     ``False`` disables it for this call, and a
@@ -215,8 +275,12 @@ def prepare_locked(
     tripped through the store's canonical serialization, so cold and
     warm calls return structurally identical netlists.
     """
-    scale = resolve_scale(scale)
-    key = _prep_key(circuit_name, technique, scale, seed, synth_seed, resynth, h)
+    cid = parse_circuit_id(circuit_name)
+    source = get_source(cid.source)
+    scale = resolve_scale(scale) if source.scaled else None
+    circuit_digest = source.digest(cid.name, scale=scale, seed=seed)
+    key = _prep_key(cid.qualified, technique, scale, seed, synth_seed, resynth,
+                    h, digest=circuit_digest, params=params)
     if cache:
         cached = _PREP_CACHE.get(key)
         if cached is not None:
@@ -226,9 +290,10 @@ def prepare_locked(
         store = prepstore.prep_store()
     elif store is False:
         store = None
+    spec = source.spec(cid.name)
     digest = None
     if store is not None and store.enabled:
-        digest = prepstore.store_key(_store_params(key))
+        digest = prepstore.store_key(_store_params(key, spec.key_width))
         prepared = store.get(digest)
         if prepared is not None:
             if cache:
@@ -236,17 +301,16 @@ def prepare_locked(
             return prepared
 
     start = time.monotonic()
-    spec = SPECS[circuit_name]
-    host = generate_host(circuit_name, scale=scale, seed=seed)
-    key_width = spec.key_width if scale == "paper" else scaled_key_width(spec, scale)
+    host = source.load(cid.name, scale=scale, seed=seed)
+    if source.scaled and scale != "paper":
+        key_width = scaled_key_width(spec, scale)
+    else:
+        key_width = spec.key_width
     key_width = min(key_width, len(host.inputs) - 1)
     key_width -= key_width % 2
 
-    lock = TECHNIQUES[technique]
-    if technique == "sfll_hd":
-        locked = lock(host, key_width, h=h if h is not None else 1, seed=seed)
-    else:
-        locked = lock(host, key_width, seed=seed)
+    extras = technique_params(technique, h=h, params=params)
+    locked = TECHNIQUES[technique](host, key_width, seed=seed, **extras)
 
     netlist = locked.circuit
     if resynth:
@@ -258,11 +322,14 @@ def prepare_locked(
         scale=scale,
         key_width=locked.key_width,
         prep_elapsed=time.monotonic() - start,
+        circuit_id=cid.qualified,
+        source=cid.source,
+        digest=circuit_digest,
     )
     if digest is not None:
         # Publish and adopt the canonical round-tripped form, so this
         # cold path returns exactly what a warm hit will return.
-        prepared = store.put(digest, prepared, _store_params(key))
+        prepared = store.put(digest, prepared, _store_params(key, spec.key_width))
     if cache:
         _PREP_CACHE.put(key, prepared)
     return prepared

@@ -5,9 +5,10 @@ locked-circuit preparation *within* one worker; this module adds the
 layer below it: a **content-addressed, disk-backed store** shared across
 worker processes and across campaigns.  Prepared (host, locked,
 resynthesized) triples are keyed by a canonical SHA-256 over every
-parameter that determines the output — circuit spec, technique, nominal
-key width, scale, lock seed, synthesis seed, and the resynthesis recipe
-— and persisted as one JSON entry per preparation under
+parameter that determines the output — qualified circuit id and content
+digest (see :mod:`repro.corpus`), technique and its extra parameters,
+nominal key width, scale, lock seed, synthesis seed, and the resynthesis
+recipe — and persisted as one JSON entry per preparation under
 ``benchmarks/results/prepstore/`` (override with ``REPRO_PREP_STORE_DIR``).
 
 Design points:
@@ -58,7 +59,10 @@ __all__ = [
 #: Bumped whenever the payload layout (or anything that changes the
 #: meaning of stored entries) changes; part of the content hash, so old
 #: entries simply stop matching instead of deserializing garbage.
-FORMAT_VERSION = 1
+#: v2: qualified circuit ids + source/digest provenance (circuit-source
+#: registry); ``params`` carries a per-technique extras dict instead of
+#: a hardcoded ``h`` field.
+FORMAT_VERSION = 2
 
 #: Default landing zone, next to the campaign results.
 DEFAULT_STORE_ROOT = os.path.join(
@@ -104,6 +108,9 @@ def serialize_prepared(prepared, params):
     return {
         "format": FORMAT_VERSION,
         "params": dict(params),
+        "circuit_id": prepared.circuit_id,
+        "source": prepared.source,
+        "digest": prepared.digest,
         "scale": prepared.scale,
         "key_width": prepared.key_width,
         "prep_elapsed": prepared.prep_elapsed,
@@ -132,7 +139,7 @@ def deserialize_prepared(payload):
     Raises ``KeyError``/``ValueError`` on malformed payloads — callers
     treat that as a store miss.
     """
-    from ..benchgen.registry import SPECS
+    from ..corpus import find_spec
     from ..locking.base import LockedCircuit
     from ..netlist.bench import parse_bench
     from .harness import PreparedCircuit
@@ -152,14 +159,20 @@ def deserialize_prepared(payload):
         critical_signal=blob["critical_signal"],
         metadata=blob["metadata"],
     )
+    circuit_id = payload.get("circuit_id") or payload["params"].get("circuit")
     return PreparedCircuit(
-        spec=SPECS.get(payload["params"].get("circuit")),
+        # A stored entry must stay loadable even when its circuit has
+        # since left the registry/corpus, hence find_spec (None on miss).
+        spec=find_spec(circuit_id) if circuit_id else None,
         locked=locked,
         netlist=parse_bench(payload["netlist"]["bench"],
                             name=payload["netlist"]["name"]),
         scale=payload["scale"],
         key_width=payload["key_width"],
         prep_elapsed=payload["prep_elapsed"],
+        circuit_id=circuit_id,
+        source=payload.get("source") or payload["params"].get("source"),
+        digest=payload.get("digest") or payload["params"].get("digest"),
     )
 
 

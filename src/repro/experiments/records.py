@@ -25,6 +25,8 @@ The canonical fields, always present::
 
 Optional, backend-specific extras (preserved by validation):
 
+    circuit       dict  circuit provenance ({id, source, digest} from
+                        :mod:`repro.corpus`) when the cell prepared one
     cell_id       str   stable cell identity (set when persisted)
     worker        str   queue worker id that produced the record
     attempt       int   1-based claim number that produced the record
@@ -73,8 +75,8 @@ _REQUIRED = (
 
 def make_cell_record(*, artifact, params, status, result=None, error=None,
                      elapsed=0.0, pid=None, prep=None, timed_out=False,
-                     cell_timeout=None, cell_id=None, worker=None,
-                     attempt=None, failures=None):
+                     cell_timeout=None, circuit=None, cell_id=None,
+                     worker=None, attempt=None, failures=None):
     """Build one canonical cell record (see the module docstring)."""
     if status not in CELL_STATUSES:
         raise ValueError(f"unknown cell status {status!r}")
@@ -90,6 +92,8 @@ def make_cell_record(*, artifact, params, status, result=None, error=None,
         "timed_out": bool(timed_out),
         "cell_timeout": None if cell_timeout is None else float(cell_timeout),
     }
+    if circuit is not None:
+        record["circuit"] = dict(circuit)
     if cell_id is not None:
         record["cell_id"] = str(cell_id)
     if worker is not None:

@@ -36,7 +36,8 @@ from ..attacks import (
     score_key,
 )
 from ..benchgen.hello import HELLO_H, hello_locked
-from ..benchgen.registry import SPECS, generate_host, resolve_scale
+from ..benchgen.registry import resolve_scale
+from ..corpus import resolve_circuit
 from ..locking import SFLT_TECHNIQUES
 from ..synth.resynth import resynthesize
 from .harness import Timer, prepare_locked
@@ -105,10 +106,11 @@ def table1_expand(options):
 
 
 def table1_cell(cell, options):
-    scale = resolve_scale(_opt(options, "scale", None))
+    # Any corpus reference works here: bare names alias to gen:, and
+    # corpus: netlists report their fixed (scale-independent) interface.
     name = cell["circuit"]
-    spec = SPECS[name]
-    host = generate_host(name, scale=scale)
+    resolved = resolve_circuit(name, scale=_opt(options, "scale", None))
+    spec, host = resolved.spec, resolved.circuit
     return {
         "row": [
             name,
@@ -117,8 +119,9 @@ def table1_cell(cell, options):
             spec.gates,
             host.num_gates,
             spec.key_width,
-            scale,
-        ]
+            resolved.scale or "-",
+        ],
+        "circuit": resolved.provenance(),
     }
 
 
@@ -182,6 +185,7 @@ def table2_cell(cell, options):
         "row": [circuit_name, technique, *scope_cell, *kratt_cell,
                 result.details.get("method", "-")],
         "attack": result.as_dict(),
+        "circuit": prep.provenance(),
     }
 
 
@@ -250,6 +254,7 @@ def table3_cell(cell, options):
         "row": [circuit_name, technique, *cells,
                 "yes" if score.functional else "no"],
         "attack": result.as_dict(),
+        "circuit": prep.provenance(),
     }
 
 
@@ -316,6 +321,7 @@ def table4_cell(cell, options):
         "row": [circuit_name, *scope_cell, *kratt_cell,
                 result.details.get("method", "-")],
         "attack": result.as_dict(),
+        "circuit": prep.provenance(),
     }
 
 
@@ -461,6 +467,7 @@ def fig6_cell(cell, options):
         "technique": technique,
         "elapsed": t.elapsed,
         "attack": result.as_dict(),
+        "circuit": prep.provenance(),
     }
 
 
@@ -551,6 +558,7 @@ def valkyrie_cell(cell, options):
                 "yes" if score.functional else "no"],
         "method": method,
         "attack": result.as_dict(),
+        "circuit": prep.provenance(),
     }
 
 

@@ -53,6 +53,20 @@ TECHNIQUES = {
     "xor_lock": lock_xor,
 }
 
+#: Declared per-technique extra locking parameters (name -> default), the
+#: single source of truth for which keyword arguments beyond
+#: ``(key_width, seed)`` a technique's locking function accepts *and* for
+#: how preparation caches key them: :func:`repro.experiments.harness.
+#: prepare_locked` folds exactly these (normalized to their defaults)
+#: into its cache keys, so two techniques never silently share an entry
+#: because a parameter was special-cased for one of them.  Techniques
+#: absent here take no extra parameters; supplied extras are ignored for
+#: them (and do not perturb their cache keys).
+TECHNIQUE_EXTRA_PARAMS = {
+    "sfll_hd": {"h": 1},
+    "sfll_flex": {"cubes": 2},
+}
+
 #: Techniques with a single critical flip signal (Fig. 1a of the paper).
 SFLT_TECHNIQUES = ("antisat", "sarlock", "caslock", "genantisat")
 
@@ -64,6 +78,7 @@ __all__ = [
     "LockingError",
     "KEY_PREFIX",
     "TECHNIQUES",
+    "TECHNIQUE_EXTRA_PARAMS",
     "SFLT_TECHNIQUES",
     "DFLT_TECHNIQUES",
     "lock_sarlock",

@@ -1,6 +1,12 @@
 """Gate-level netlist substrate: circuits, BENCH I/O, simulation, cones."""
 
-from .bench import parse_bench, parse_bench_file, write_bench, write_bench_file
+from .bench import (
+    bench_round_trip_identical,
+    parse_bench,
+    parse_bench_file,
+    write_bench,
+    write_bench_file,
+)
 from .circuit import Circuit
 from .engine import CompiledCircuit
 from .cone import (
@@ -12,7 +18,13 @@ from .cone import (
     transitive_fanin,
     transitive_fanout,
 )
-from .errors import CircuitStructureError, EvaluationError, NetlistError, ParseError
+from .errors import (
+    BenchStructureError,
+    CircuitStructureError,
+    EvaluationError,
+    NetlistError,
+    ParseError,
+)
 from .gate import Gate, GateType
 from .simulate import (
     exhaustive_patterns,
@@ -34,12 +46,14 @@ __all__ = [
     "GateType",
     "NetlistError",
     "ParseError",
+    "BenchStructureError",
     "CircuitStructureError",
     "EvaluationError",
     "parse_bench",
     "parse_bench_file",
     "write_bench",
     "write_bench_file",
+    "bench_round_trip_identical",
     "transitive_fanin",
     "transitive_fanout",
     "support",

@@ -22,10 +22,16 @@ from __future__ import annotations
 import re
 
 from .circuit import Circuit
-from .errors import ParseError
+from .errors import BenchStructureError, ParseError
 from .gate import GateType
 
-__all__ = ["parse_bench", "parse_bench_file", "write_bench", "write_bench_file"]
+__all__ = [
+    "parse_bench",
+    "parse_bench_file",
+    "write_bench",
+    "write_bench_file",
+    "bench_round_trip_identical",
+]
 
 _INPUT_RE = re.compile(r"^INPUT\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
 _OUTPUT_RE = re.compile(r"^OUTPUT\s*\(\s*([^\s()]+)\s*\)$", re.IGNORECASE)
@@ -54,11 +60,28 @@ def parse_bench(text, name="circuit"):
     """Parse ``.bench`` text into a validated :class:`Circuit`.
 
     Raises :class:`~repro.netlist.errors.ParseError` with line context on
-    malformed input and :class:`CircuitStructureError` on structural
-    problems (cycles, undefined signals).
+    malformed input, :class:`BenchStructureError` (a ``ParseError`` *and*
+    a ``CircuitStructureError``) with the precise source line on
+    duplicate drivers, undeclared fanin signals and dangling outputs,
+    and plain :class:`CircuitStructureError` on combinational cycles.
     """
     circuit = Circuit(name)
     outputs = []
+    defined_at = {}  # signal -> line number of its driver/INPUT
+    output_at = []  # (name, line_no, raw) per OUTPUT statement
+    lines = {}  # line_no -> raw text (for deferred diagnostics)
+
+    def define(signal, line_no, raw):
+        first = defined_at.get(signal)
+        if first is not None:
+            raise BenchStructureError(
+                f"duplicate driver for signal {signal!r} "
+                f"(first defined at line {first})",
+                line_no, raw,
+            )
+        defined_at[signal] = line_no
+        lines[line_no] = raw
+
     for line_no, raw in enumerate(text.splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if not line:
@@ -66,25 +89,22 @@ def parse_bench(text, name="circuit"):
 
         m = _INPUT_RE.match(line)
         if m:
-            try:
-                circuit.add_input(m.group(1))
-            except Exception as exc:
-                raise ParseError(str(exc), line_no, raw) from None
+            define(m.group(1), line_no, raw)
+            circuit.add_input(m.group(1))
             continue
 
         m = _OUTPUT_RE.match(line)
         if m:
             outputs.append(m.group(1))
+            output_at.append((m.group(1), line_no, raw))
             continue
 
         m = _CONST_RE.match(line)
         if m:
             value = m.group(2).lower()
             gtype = GateType.CONST1 if value in ("vdd", "1") else GateType.CONST0
-            try:
-                circuit.add_gate(m.group(1), gtype, ())
-            except Exception as exc:
-                raise ParseError(str(exc), line_no, raw) from None
+            define(m.group(1), line_no, raw)
+            circuit.add_gate(m.group(1), gtype, ())
             continue
 
         m = _ASSIGN_RE.match(line)
@@ -94,13 +114,29 @@ def parse_bench(text, name="circuit"):
             if gtype is None:
                 raise ParseError(f"unknown gate type {type_name!r}", line_no, raw)
             fanins = tuple(a.strip() for a in arg_text.split(",") if a.strip())
-            try:
-                circuit.add_gate(target, gtype, fanins)
-            except Exception as exc:
-                raise ParseError(str(exc), line_no, raw) from None
+            define(target, line_no, raw)
+            circuit.add_gate(target, gtype, fanins)
             continue
 
         raise ParseError("unrecognized statement", line_no, raw)
+
+    # Deferred structural checks, each pinned to the offending line.
+    # Forward references are legal (a gate may use a signal defined later
+    # in the file), which is why these run after the whole file is read.
+    for signal, line_no in defined_at.items():
+        gate = circuit.gate(signal)
+        for src in gate.fanins:
+            if src not in defined_at:
+                raise BenchStructureError(
+                    f"gate {signal!r} references undeclared signal {src!r}",
+                    line_no, lines[line_no],
+                )
+    for out_name, line_no, raw in output_at:
+        if out_name not in defined_at:
+            raise BenchStructureError(
+                f"dangling output {out_name!r}: no INPUT or gate drives it",
+                line_no, raw,
+            )
 
     circuit.set_outputs(outputs)
     circuit.validate()
@@ -144,6 +180,36 @@ def write_bench(circuit, header=None):
             args = ", ".join(gate.fanins)
             lines.append(f"{name} = {gate.gtype.value}({args})")
     return "\n".join(lines) + "\n"
+
+
+def bench_round_trip_identical(text, name="circuit"):
+    """Check that ``parse -> emit -> parse`` preserves the netlist exactly.
+
+    Returns ``(identical, problems)`` where ``problems`` is a list of
+    human-readable discrepancy descriptions (empty when identical).  The
+    comparison is gate-for-gate: input order, output order, and every
+    gate's (type, fanins) must survive the round trip.  The emitted text
+    itself may differ from the input (``write_bench`` orders gates
+    topologically); what must not change is the circuit.
+    """
+    first = parse_bench(text, name=name)
+    second = parse_bench(write_bench(first), name=name)
+    problems = []
+    if first.inputs != second.inputs:
+        problems.append(
+            f"input order changed: {first.inputs} -> {second.inputs}"
+        )
+    if first.outputs != second.outputs:
+        problems.append(
+            f"output order changed: {first.outputs} -> {second.outputs}"
+        )
+    first_gates = {g.name: (g.gtype, g.fanins) for g in first.gates()}
+    second_gates = {g.name: (g.gtype, g.fanins) for g in second.gates()}
+    for signal in sorted(set(first_gates) | set(second_gates)):
+        a, b = first_gates.get(signal), second_gates.get(signal)
+        if a != b:
+            problems.append(f"gate {signal!r} changed: {a} -> {b}")
+    return not problems, problems
 
 
 def write_bench_file(circuit, path, header=None):

@@ -30,5 +30,15 @@ class CircuitStructureError(NetlistError):
     """
 
 
+class BenchStructureError(ParseError, CircuitStructureError):
+    """A structural violation pinned to a ``.bench`` source line.
+
+    Inherits from both :class:`ParseError` (it carries the offending line
+    number and text) and :class:`CircuitStructureError` (the violation is
+    structural: duplicate drivers, undeclared signals, dangling outputs),
+    so callers filtering on either base class keep working.
+    """
+
+
 class EvaluationError(NetlistError):
     """Raised when a circuit cannot be evaluated with the given inputs."""

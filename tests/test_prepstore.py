@@ -32,6 +32,7 @@ from repro.experiments.harness import (
     prepare_locked,
 )
 from repro.experiments.prepstore import (
+    FORMAT_VERSION,
     PrepStore,
     deserialize_prepared,
     serialize_prepared,
@@ -98,7 +99,7 @@ class TestPrepStore:
         assert store.stats()["store_misses"] == before + 1
         assert warm.locked.technique == "sarlock"
         # The recompute republished a healthy entry.
-        assert json.load(open(path))["format"] == 1
+        assert json.load(open(path))["format"] == FORMAT_VERSION
 
     def test_corrupt_bench_payload_reads_as_miss(self, store):
         """Valid JSON wrapping invalid .bench text must degrade to a miss."""

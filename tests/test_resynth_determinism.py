@@ -37,13 +37,16 @@ def _resynth_digest(technique, seed, recipe):
 
 def _prep_payload_digest(circuit_name, technique):
     """SHA-256 of the canonical prep-store payload for one preparation."""
+    from repro.corpus import circuit_spec
     from repro.experiments.harness import _prep_key, _store_params, prepare_locked
     from repro.experiments.prepstore import serialize_prepared
 
     prepared = prepare_locked(circuit_name, technique, scale="tiny",
                               cache=False, store=False)
-    key = _prep_key(circuit_name, technique, "tiny", 0, 1, True, None)
-    payload = serialize_prepared(prepared, _store_params(key))
+    key = _prep_key(circuit_name, technique, "tiny", 0, 1, True, None,
+                    digest=prepared.digest)
+    payload = serialize_prepared(prepared, _store_params(
+        key, circuit_spec(circuit_name).key_width))
     payload["prep_elapsed"] = 0.0  # the only legitimately varying field
     blob = json.dumps(payload, sort_keys=True)
     return hashlib.sha256(blob.encode()).hexdigest()
@@ -116,6 +119,7 @@ def test_prep_store_payload_identical_across_process_contexts(ctx_name):
 
 
 def test_prep_payload_repeatable_and_content_addressed():
+    from repro.corpus import circuit_spec
     from repro.experiments.harness import _prep_key, _store_params
     from repro.experiments.prepstore import store_key
 
@@ -123,10 +127,11 @@ def test_prep_payload_repeatable_and_content_addressed():
         "c6288", "sarlock"
     )
     # The content hash separates preparations that differ in any input.
+    width = circuit_spec("c6288").key_width
     base = store_key(_store_params(
-        _prep_key("c6288", "sarlock", "tiny", 0, 1, True, None)))
+        _prep_key("c6288", "sarlock", "tiny", 0, 1, True, None), width))
     other = store_key(_store_params(
-        _prep_key("c6288", "sarlock", "tiny", 0, 2, True, None)))
+        _prep_key("c6288", "sarlock", "tiny", 0, 2, True, None), width))
     assert base != other
 
 
