@@ -417,8 +417,135 @@ def _cmd_worker(args):
         worker_id=args.worker_id,
         max_cells=args.max_cells,
         progress=print if not args.quiet else None,
+        exit_when_drained=not args.forever,
     )
     print(json.dumps(stats, sort_keys=True))
+    return 0
+
+
+def _cmd_serve(args):
+    import signal
+    import threading
+
+    from .service import AttackService
+
+    queue = {}
+    if args.lease_ttl is not None:
+        queue["lease_ttl"] = args.lease_ttl
+    if args.max_attempts is not None:
+        queue["max_attempts"] = args.max_attempts
+    if args.backoff_base is not None:
+        queue["backoff_base"] = args.backoff_base
+    options = {}
+    if args.scale:
+        options["scale"] = args.scale
+    service = AttackService(
+        args.directory,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cell_timeout=args.cell_timeout,
+        queue=queue,
+        options=options,
+        mp_context=args.mp_context,
+    )
+    halt = threading.Event()
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(sig, lambda signum, frame: halt.set())
+    service.start()
+    print(f"repro serve: listening on {service.url} "
+          f"({service.spec.workers} workers, dir {service.directory})")
+    sys.stdout.flush()
+    try:
+        while not halt.wait(0.2):
+            pass
+    finally:
+        service.stop()
+    print("repro serve: stopped")
+    return 0
+
+
+def _service_client(args):
+    from .service import ServiceClient, service_url
+
+    url = args.url or service_url(args.dir or ".")
+    return ServiceClient(url)
+
+
+def _service_cli(func):
+    """Surface client/daemon errors as messages, not tracebacks."""
+
+    def wrapped(args):
+        from .service import ServiceRequestError, ServiceTimeout
+
+        try:
+            return func(args)
+        except (ServiceRequestError, ServiceTimeout) as exc:
+            raise SystemExit(f"service error: {exc}")
+
+    return wrapped
+
+
+def _option_value(text):
+    """Coerce an ``--option key=value`` value: JSON when it parses."""
+    try:
+        return json.loads(text)
+    except ValueError:
+        return text
+
+
+@_service_cli
+def _cmd_submit(args):
+    client = _service_client(args)
+    payload = {}
+    if args.artifact:
+        payload["artifact"] = args.artifact
+    for key in ("circuit", "technique", "attack", "scale"):
+        value = getattr(args, key)
+        if value is not None:
+            payload[key] = value
+    if args.key_width is not None:
+        payload["key_width"] = args.key_width
+    if args.budget is not None:
+        payload["budget"] = args.budget
+    if args.deadline is not None:
+        payload["deadline"] = args.deadline
+    for item in args.option or []:
+        if "=" not in item:
+            raise SystemExit(f"--option wants key=value, got {item!r}")
+        key, _, value = item.partition("=")
+        payload[key] = _option_value(value)
+    status = client.submit(payload)
+    job_id = status["job_id"]
+    print(f"submitted {job_id} ({len(status['cells'])} cells)")
+    if not args.wait:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    final = client.wait(job_id, timeout=args.timeout)
+    print(json.dumps(final, indent=2, sort_keys=True))
+    return 0 if final["state"] == "done" else 3
+
+
+@_service_cli
+def _cmd_jobs(args):
+    client = _service_client(args)
+    if args.job_id:
+        if args.cancel:
+            status = client.cancel(args.job_id)
+        else:
+            status = client.job(args.job_id)
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    for status in jobs:
+        counts = " ".join(
+            f"{k}={v}" for k, v in sorted(status["counts"].items())
+        )
+        print(f"{status['job_id']}  {status['state']:<9} "
+              f"{status['artifact']:<8} {counts}")
     return 0
 
 
@@ -635,7 +762,80 @@ def build_parser():
                    help="stable worker identity (default host-pid-nonce)")
     p.add_argument("--quiet", action="store_true",
                    help="suppress per-cell progress lines")
+    p.add_argument("--forever", action="store_true",
+                   help="keep polling after the queue drains (join a "
+                        "`repro serve` fleet from another host)")
     p.set_defaults(func=_cmd_worker)
+
+    p = sub.add_parser(
+        "serve",
+        help="attack-as-a-service daemon: accept jobs over a local "
+             "HTTP/JSON API and drain them with a shared worker fleet",
+    )
+    p.add_argument("directory",
+                   help="service directory (created if missing; holds "
+                        "spec.json, cells/, queue.sqlite, jobs.sqlite)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (default 0 = ephemeral; the bound url "
+                        "is printed and written to service.json)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="size of the shared worker fleet")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   help="HARD per-cell wall-clock limit (s) for every job")
+    p.add_argument("--lease-ttl", type=float, default=None,
+                   help="queue lease TTL (s)")
+    p.add_argument("--max-attempts", type=int, default=None,
+                   help="failed claims before a cell is quarantined")
+    p.add_argument("--backoff-base", type=float, default=None,
+                   help="first retry delay (s)")
+    p.add_argument("--scale", default=None,
+                   help="default reproduction scale for jobs that do not "
+                        "set one")
+    p.add_argument("--mp-context", choices=["fork", "spawn"], default=None)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit one attack job to a running `repro serve`"
+    )
+    p.add_argument("--url", default=None,
+                   help="service url (default: read service.json via --dir)")
+    p.add_argument("--dir", default=None,
+                   help="service directory to discover the url from")
+    p.add_argument("--artifact", default=None,
+                   help="job artifact (default attack)")
+    p.add_argument("--circuit", default=None,
+                   help="circuit id (gen:/corpus: or bare name)")
+    p.add_argument("--technique", default=None, help="locking technique")
+    p.add_argument("--attack", default=None,
+                   help="kratt_ol|kratt_og|sat|ddip|appsat")
+    p.add_argument("--key-width", type=int, default=None)
+    p.add_argument("--budget", type=float, default=None,
+                   help="per-attack time budget (s)")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="whole-job deadline (s from acceptance); pending "
+                        "cells are cancelled when it expires")
+    p.add_argument("--scale", default=None)
+    p.add_argument("--option", action="append", default=None,
+                   metavar="KEY=VALUE",
+                   help="extra job option (JSON value when it parses); "
+                        "repeatable")
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job is terminal")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="--wait budget (s)")
+    p.set_defaults(func=_cmd_submit)
+
+    p = sub.add_parser(
+        "jobs", help="list, inspect or cancel `repro serve` jobs"
+    )
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="job id (omit to list all jobs)")
+    p.add_argument("--url", default=None)
+    p.add_argument("--dir", default=None)
+    p.add_argument("--cancel", action="store_true",
+                   help="cancel the given job's pending cells")
+    p.set_defaults(func=_cmd_jobs)
 
     p = sub.add_parser(
         "prepstore",

@@ -185,6 +185,10 @@ ARTIFACTS = {
         "valkyrie", "Valkyrie-style census",
         tables.valkyrie_expand, tables.valkyrie_cell, tables.valkyrie_aggregate,
     ),
+    "attack": Artifact(
+        "attack", "Single-attack grid (the `repro serve` job unit)",
+        tables.attack_expand, tables.attack_cell, tables.attack_aggregate,
+    ),
     "selftest": Artifact(
         "selftest", "Campaign self-test cells (timeout smoke)",
         _selftest_expand, _selftest_cell, _selftest_aggregate,

@@ -201,7 +201,7 @@ def technique_params(technique, h=None, params=None):
 
 
 def _prep_key(circuit_name, technique, scale, seed, synth_seed, resynth, h,
-              digest=None, params=None):
+              digest=None, params=None, key_width=None):
     """Canonical cache key covering every argument that changes the output.
 
     ``circuit_name`` is qualified (bare names alias to ``gen:``) as a
@@ -211,17 +211,19 @@ def _prep_key(circuit_name, technique, scale, seed, synth_seed, resynth, h,
     locking parameters are normalized per technique via
     :func:`technique_params`, so equivalent preparations share one entry
     while *differing* ones (different ``resynth``, ``h``/``cubes``, or
-    ``synth_seed``) can never alias.
+    ``synth_seed``) can never alias.  ``key_width`` is the caller's
+    explicit request (``None`` = derive from the spec + scale as always).
     """
     extras = tuple(sorted(technique_params(technique, h=h, params=params).items()))
     return (qualify(circuit_name), digest, technique, scale, seed, synth_seed,
-            bool(resynth), extras)
+            bool(resynth), extras, key_width)
 
 
 def _store_params(key, key_width):
     """The JSON-safe parameter dict hashed into the disk-store key."""
-    qualified, digest, technique, scale, seed, synth_seed, resynth, extras = key
-    return {
+    (qualified, digest, technique, scale, seed, synth_seed, resynth, extras,
+     requested_width) = key
+    params = {
         "circuit": qualified,
         "source": parse_circuit_id(qualified).source,
         "digest": digest,
@@ -234,6 +236,11 @@ def _store_params(key, key_width):
         "key_width": key_width,
         "recipe": _RESYNTH_RECIPE,
     }
+    # Only present when a caller overrode the derived width, so every
+    # pre-existing store entry keeps its hash.
+    if requested_width is not None:
+        params["key_width_override"] = requested_width
+    return params
 
 
 def prepare_locked(
@@ -247,6 +254,7 @@ def prepare_locked(
     params=None,
     cache=True,
     store=None,
+    key_width=None,
 ):
     """Resolve, lock, and resynthesize one benchmark circuit.
 
@@ -274,13 +282,24 @@ def prepare_locked(
     explicitly.  With the store active, even a cold compute is round-
     tripped through the store's canonical serialization, so cold and
     warm calls return structurally identical netlists.
+
+    ``key_width`` explicitly requests a lock width (service jobs submit
+    one); ``None`` derives it from the spec + scale as before.  Either
+    way the width is clamped to the host's input count minus one and
+    rounded down to even, so the effective width is on
+    ``PreparedCircuit.key_width``, not necessarily the request.
     """
     cid = parse_circuit_id(circuit_name)
     source = get_source(cid.source)
     scale = resolve_scale(scale) if source.scaled else None
     circuit_digest = source.digest(cid.name, scale=scale, seed=seed)
+    if key_width is not None:
+        key_width = int(key_width)
+        if key_width < 2:
+            raise ValueError(f"key_width must be >= 2, got {key_width}")
     key = _prep_key(cid.qualified, technique, scale, seed, synth_seed, resynth,
-                    h, digest=circuit_digest, params=params)
+                    h, digest=circuit_digest, params=params,
+                    key_width=key_width)
     if cache:
         cached = _PREP_CACHE.get(key)
         if cached is not None:
@@ -302,15 +321,17 @@ def prepare_locked(
 
     start = time.monotonic()
     host = source.load(cid.name, scale=scale, seed=seed)
-    if source.scaled and scale != "paper":
-        key_width = scaled_key_width(spec, scale)
+    if key_width is not None:
+        width = key_width
+    elif source.scaled and scale != "paper":
+        width = scaled_key_width(spec, scale)
     else:
-        key_width = spec.key_width
-    key_width = min(key_width, len(host.inputs) - 1)
-    key_width -= key_width % 2
+        width = spec.key_width
+    width = min(width, len(host.inputs) - 1)
+    width -= width % 2
 
     extras = technique_params(technique, h=h, params=params)
-    locked = TECHNIQUES[technique](host, key_width, seed=seed, **extras)
+    locked = TECHNIQUES[technique](host, width, seed=seed, **extras)
 
     netlist = locked.circuit
     if resynth:

@@ -55,8 +55,9 @@ __all__ = [
 QUEUE_FILENAME = "queue.sqlite"
 
 #: Task states.  pending -> leased -> done | poisoned (pending again on
-#: failure/expiry while attempts remain).
-TASK_STATES = ("pending", "leased", "done", "poisoned")
+#: failure/expiry while attempts remain); pending -> cancelled when a
+#: job's deadline expires before the cell was claimed.
+TASK_STATES = ("pending", "leased", "done", "poisoned", "cancelled")
 
 
 def queue_path(directory):
@@ -86,6 +87,18 @@ class QueueConfig:
             raise ValueError("max_attempts must be >= 1")
         if self.backoff_base < 0 or self.backoff_cap < 0:
             raise ValueError("backoff delays must be >= 0")
+        if self.backoff_jitter < 0:
+            raise ValueError("backoff_jitter must be >= 0")
+        if self.poll <= 0:
+            raise ValueError("poll must be positive")
+        if self.heartbeat < 0:
+            raise ValueError("heartbeat must be >= 0 (0 = lease_ttl/3)")
+        if self.heartbeat > 0 and self.heartbeat >= self.lease_ttl:
+            raise ValueError(
+                "heartbeat must be shorter than lease_ttl "
+                f"({self.heartbeat} >= {self.lease_ttl}): a lease would "
+                "always expire before its first extension"
+            )
 
     @property
     def heartbeat_period(self):
@@ -122,6 +135,8 @@ class QueueTask:
     lease_expires: float = None
     result_status: str = None
     failures: tuple = ()
+    job: str = None       # owning service job id, None for direct campaigns
+    options: dict = None  # per-task options override (None = spec.options)
 
 
 def backoff_delay(cell_id, attempt, config):
@@ -150,10 +165,19 @@ CREATE TABLE IF NOT EXISTS tasks (
     lease_owner   TEXT,
     lease_expires REAL,
     result_status TEXT,
-    failures      TEXT NOT NULL DEFAULT '[]'
+    failures      TEXT NOT NULL DEFAULT '[]',
+    job           TEXT,
+    options       TEXT
 );
 CREATE INDEX IF NOT EXISTS tasks_by_state ON tasks (state, not_before, idx);
 """
+
+#: Columns added after the PR-6 schema; old queue files are migrated in
+#: place (the queue is derived state, but migration beats a rebuild).
+_MIGRATIONS = (
+    ("job", "ALTER TABLE tasks ADD COLUMN job TEXT"),
+    ("options", "ALTER TABLE tasks ADD COLUMN options TEXT"),
+)
 
 #: DatabaseError messages that mean "this file is not a usable queue".
 _CORRUPTION_MARKERS = (
@@ -199,6 +223,15 @@ class CellQueue:
                 conn.execute("PRAGMA synchronous=NORMAL")
                 conn.execute("PRAGMA busy_timeout=30000")
                 conn.executescript(_SCHEMA)
+                present = {row[1] for row in
+                           conn.execute("PRAGMA table_info(tasks)")}
+                for column, ddl in _MIGRATIONS:
+                    if column not in present:
+                        conn.execute(ddl)
+                conn.execute(
+                    "CREATE INDEX IF NOT EXISTS tasks_by_job "
+                    "ON tasks (job, state)"
+                )
             except sqlite3.DatabaseError as exc:
                 raise _translate(exc) from exc
             self._conn = conn
@@ -243,27 +276,35 @@ class CellQueue:
         return self._clock() if now is None else now
 
     # -- population + reconciliation ----------------------------------
-    def ensure(self, cells, record_loader=None):
+    def ensure(self, cells, record_loader=None, job=None, options=None):
         """Insert missing tasks and reconcile state against the records.
 
         ``cells`` is the campaign's expanded cell list (objects with
         ``cell_id``/``artifact``/``params``); ``record_loader`` maps a
-        cell id to its *terminal* record or ``None``.  Reconciliation
-        repairs every crash window: a task in any live state whose
-        record was already published becomes ``done`` (crash after
-        publish, before ack), and a ``done``/``poisoned`` task whose
-        record is missing or corrupt goes back to ``pending``.
+        cell id to its *terminal* record or ``None``.  ``job`` tags the
+        inserted tasks with an owning service job id, and ``options``
+        attaches a per-task options override (service jobs carry their
+        own option grids; direct campaign cells leave both NULL and run
+        under ``spec.options``).  Reconciliation repairs every crash
+        window: a task in any live state whose record was already
+        published becomes ``done`` (crash after publish, before ack) —
+        including ``cancelled`` tasks whose cell finished before the
+        cancel landed — and a ``done``/``poisoned`` task whose record is
+        missing or corrupt goes back to ``pending``.
         """
         now = self._now()
         repaired = {"inserted": 0, "completed": 0, "requeued": 0}
+        options_json = (None if options is None
+                        else json.dumps(options, sort_keys=True))
         with self._txn() as conn:
             for index, cell in enumerate(cells):
                 cur = conn.execute(
                     "INSERT OR IGNORE INTO tasks (cell_id, artifact, idx, "
-                    "params, state, not_before) VALUES (?, ?, ?, ?, "
-                    "'pending', 0)",
+                    "params, state, not_before, job, options) VALUES "
+                    "(?, ?, ?, ?, 'pending', 0, ?, ?)",
                     (cell.cell_id, cell.artifact, index,
-                     json.dumps(cell.params, sort_keys=True)),
+                     json.dumps(cell.params, sort_keys=True),
+                     job, options_json),
                 )
                 repaired["inserted"] += cur.rowcount
             if record_loader is None:
@@ -336,14 +377,15 @@ class CellQueue:
         with self._txn() as conn:
             self._recover_expired(conn, now)
             row = conn.execute(
-                "SELECT cell_id, artifact, idx, params, attempts, failures "
-                "FROM tasks WHERE state='pending' AND not_before <= ? "
-                "ORDER BY idx LIMIT 1",
+                "SELECT cell_id, artifact, idx, params, attempts, failures, "
+                "job, options FROM tasks WHERE state='pending' AND "
+                "not_before <= ? ORDER BY idx LIMIT 1",
                 (now,),
             ).fetchone()
             if row is None:
                 return None
-            cell_id, artifact, idx, params, attempts, failures = row
+            (cell_id, artifact, idx, params, attempts, failures,
+             job, options) = row
             conn.execute(
                 "UPDATE tasks SET state='leased', lease_owner=?, "
                 "lease_expires=?, attempts=? WHERE cell_id=?",
@@ -355,6 +397,8 @@ class CellQueue:
                 attempts=attempts + 1, not_before=0.0, lease_owner=worker,
                 lease_expires=now + self.config.lease_ttl,
                 failures=tuple(json.loads(failures)),
+                job=job,
+                options=None if options is None else json.loads(options),
             )
 
     def heartbeat(self, cell_id, worker, now=None):
@@ -424,27 +468,67 @@ class CellQueue:
             )
             return "requeued"
 
+    def cancel(self, cell_ids=None, job=None, now=None):
+        """Cancel pending tasks (deadline expiry / user abort); returns ids.
+
+        Select by explicit ``cell_ids``, by owning ``job``, or both (the
+        intersection); refusing a call with neither guards against a
+        bug cancelling an entire campaign.  Expired leases are recovered
+        first so a dead worker's cell is cancellable, not stuck leased.
+        Only ``pending`` tasks move to ``cancelled``: a live leased cell
+        runs to completion and keeps its record (``ensure`` later flips
+        a cancelled task whose record surfaced back to ``done``), and
+        finished tasks are untouched.
+        """
+        if cell_ids is None and job is None:
+            raise ValueError("cancel() needs cell_ids and/or job")
+        now = self._now(now)
+        cancelled = []
+        with self._txn() as conn:
+            self._recover_expired(conn, now)
+            query = "SELECT cell_id FROM tasks WHERE state='pending'"
+            args = []
+            if job is not None:
+                query += " AND job=?"
+                args.append(job)
+            rows = conn.execute(query + " ORDER BY idx", args).fetchall()
+            wanted = None if cell_ids is None else set(cell_ids)
+            for (cell_id,) in rows:
+                if wanted is not None and cell_id not in wanted:
+                    continue
+                conn.execute(
+                    "UPDATE tasks SET state='cancelled', lease_owner=NULL, "
+                    "lease_expires=NULL WHERE cell_id=?",
+                    (cell_id,),
+                )
+                cancelled.append(cell_id)
+        return cancelled
+
     # -- inspection + maintenance -------------------------------------
+    _TASK_COLUMNS = (
+        "cell_id, artifact, idx, params, state, attempts, not_before, "
+        "lease_owner, lease_expires, result_status, failures, job, options"
+    )
+
     def get(self, cell_id):
         with self._txn() as conn:
             row = conn.execute(
-                "SELECT cell_id, artifact, idx, params, state, attempts, "
-                "not_before, lease_owner, lease_expires, result_status, "
-                "failures FROM tasks WHERE cell_id=?",
+                f"SELECT {self._TASK_COLUMNS} FROM tasks WHERE cell_id=?",
                 (cell_id,),
             ).fetchone()
         return None if row is None else self._task(row)
 
-    def tasks(self, state=None):
-        query = (
-            "SELECT cell_id, artifact, idx, params, state, attempts, "
-            "not_before, lease_owner, lease_expires, result_status, failures "
-            "FROM tasks"
-        )
-        args = ()
+    def tasks(self, state=None, job=None):
+        query = f"SELECT {self._TASK_COLUMNS} FROM tasks"
+        clauses, args = [], []
         if state is not None:
-            query += " WHERE state=?"
-            args = (state,)
+            clauses.append("state=?")
+            args.append(state)
+        if job is not None:
+            clauses.append("job=?")
+            args.append(job)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
         with self._txn() as conn:
             rows = conn.execute(query + " ORDER BY idx", args).fetchall()
         return [self._task(row) for row in rows]
@@ -452,38 +536,47 @@ class CellQueue:
     @staticmethod
     def _task(row):
         (cell_id, artifact, idx, params, state, attempts, not_before,
-         lease_owner, lease_expires, result_status, failures) = row
+         lease_owner, lease_expires, result_status, failures,
+         job, options) = row
         return QueueTask(
             cell_id=cell_id, artifact=artifact, index=idx,
             params=json.loads(params), state=state, attempts=attempts,
             not_before=not_before, lease_owner=lease_owner,
             lease_expires=lease_expires, result_status=result_status,
             failures=tuple(json.loads(failures)),
+            job=job,
+            options=None if options is None else json.loads(options),
         )
 
-    def counts(self):
+    def counts(self, job=None):
+        query = "SELECT state, COUNT(*) FROM tasks"
+        args = ()
+        if job is not None:
+            query += " WHERE job=?"
+            args = (job,)
         with self._txn() as conn:
-            rows = conn.execute(
-                "SELECT state, COUNT(*) FROM tasks GROUP BY state"
-            ).fetchall()
+            rows = conn.execute(query + " GROUP BY state", args).fetchall()
         counts = {state: 0 for state in TASK_STATES}
         counts.update(dict(rows))
         return counts
 
-    def drained(self, now=None):
-        """True when nothing is pending or leased — only done/poisoned.
+    def drained(self, now=None, job=None):
+        """True when nothing is pending or leased — only terminal states.
 
         Recovers expired leases first so a queue whose last workers were
         all SIGKILLed still reports honestly (their cells come back as
         pending, and ``drained`` stays False until someone runs them).
         """
         now = self._now(now)
+        query = ("SELECT COUNT(*) FROM tasks WHERE state IN "
+                 "('pending', 'leased')")
+        args = ()
+        if job is not None:
+            query += " AND job=?"
+            args = (job,)
         with self._txn() as conn:
             self._recover_expired(conn, now)
-            row = conn.execute(
-                "SELECT COUNT(*) FROM tasks WHERE state IN "
-                "('pending', 'leased')"
-            ).fetchone()
+            row = conn.execute(query, args).fetchone()
         return row[0] == 0
 
     def audit(self, record_loader, now=None):

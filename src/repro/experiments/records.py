@@ -32,6 +32,9 @@ Optional, backend-specific extras (preserved by validation):
     attempt       int   1-based claim number that produced the record
     failures      list  quarantine forensics: one entry per failed
                         attempt ({worker, attempt, error, time})
+    job           str   owning ``repro serve`` job id, when the cell was
+                        enqueued by a service job rather than a direct
+                        campaign run
 
 ``status`` semantics:
 
@@ -53,6 +56,7 @@ __all__ = [
     "RETRYABLE_STATUSES",
     "make_cell_record",
     "validate_cell_record",
+    "deterministic_view",
 ]
 
 #: Every status a cell record may carry.
@@ -76,7 +80,7 @@ _REQUIRED = (
 def make_cell_record(*, artifact, params, status, result=None, error=None,
                      elapsed=0.0, pid=None, prep=None, timed_out=False,
                      cell_timeout=None, circuit=None, cell_id=None,
-                     worker=None, attempt=None, failures=None):
+                     worker=None, attempt=None, failures=None, job=None):
     """Build one canonical cell record (see the module docstring)."""
     if status not in CELL_STATUSES:
         raise ValueError(f"unknown cell status {status!r}")
@@ -102,7 +106,52 @@ def make_cell_record(*, artifact, params, status, result=None, error=None,
         record["attempt"] = int(attempt)
     if failures is not None:
         record["failures"] = list(failures)
+    if job is not None:
+        record["job"] = str(job)
     return record
+
+
+#: Record-level fields that vary run-to-run (timing, process identity,
+#: scheduling provenance) and must be ignored when comparing two runs of
+#: the same cell for bit-identity.
+#: Fields stripped by :func:`deterministic_view`.  ``cell_timeout`` is
+#: enforcement *configuration* (a daemon may impose a global limit a
+#: direct run does not); the run-invariant consequence of a limit is
+#: the ``status``/``timed_out`` pair, which stays in the view.
+_VOLATILE_FIELDS = (
+    "elapsed", "pid", "prep", "worker", "attempt", "failures", "job",
+    "cell_id", "cell_timeout",
+)
+
+#: Keys inside ``result["attack"]`` (an ``AttackResult.as_dict()``) that
+#: are pure functions of the inputs; everything else — elapsed time,
+#: solver-internal timing details — is dropped from the view.
+_DETERMINISTIC_ATTACK_KEYS = (
+    "attack", "technique", "circuit", "key", "success", "timed_out",
+    "time_limit", "iterations", "oracle_queries",
+)
+
+
+def deterministic_view(record):
+    """Project a cell record onto its run-invariant fields.
+
+    Two runs of the same cell — direct campaign vs. service job, pool
+    vs. queue backend, cold vs. warm prep — must agree exactly on this
+    view; wall-clock, pids, worker identity and job provenance are
+    stripped.  Used by the bit-identity tests and the ``serve-smoke``
+    comparison against a direct ``repro campaign run``.
+    """
+    view = {k: v for k, v in record.items() if k not in _VOLATILE_FIELDS}
+    result = view.get("result")
+    if isinstance(result, dict):
+        result = {k: v for k, v in result.items() if k != "elapsed"}
+        attack = result.get("attack")
+        if isinstance(attack, dict):
+            result["attack"] = {
+                k: attack.get(k) for k in _DETERMINISTIC_ATTACK_KEYS
+            }
+        view["result"] = result
+    return view
 
 
 def validate_cell_record(record):

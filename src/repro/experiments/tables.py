@@ -38,7 +38,7 @@ from ..attacks import (
 from ..benchgen.hello import HELLO_H, hello_locked
 from ..benchgen.registry import resolve_scale
 from ..corpus import resolve_circuit
-from ..locking import SFLT_TECHNIQUES
+from ..locking import SFLT_TECHNIQUES, TECHNIQUES
 from ..synth.resynth import resynthesize
 from .harness import Timer, prepare_locked
 
@@ -47,6 +47,7 @@ __all__ = [
     "TABLE2_TECHNIQUES",
     "TABLE4_CIRCUITS",
     "HELLO_CIRCUITS",
+    "ATTACK_NAMES",
     "table1_rows",
     "table2_rows",
     "table3_rows",
@@ -54,6 +55,7 @@ __all__ = [
     "table5_rows",
     "fig6_rows",
     "valkyrie_rows",
+    "attack_rows",
 ]
 
 TABLE1_CIRCUITS = ("c2670", "c5315", "c6288", "b14_C", "b15_C", "b20_C")
@@ -599,3 +601,131 @@ def valkyrie_rows(scale=None, synth_seeds=(1, 2), qbf_time_limit=3.0,
         "ol_time_limit": ol_time_limit,
         "og_time_limit": og_time_limit,
     })
+
+
+# ----------------------------------------------------------------------
+# Single-attack grid: the `repro serve` job unit — one (circuit,
+# technique, attack, key width, budget) per cell.
+# ----------------------------------------------------------------------
+
+ATTACK_HEADER = (
+    "Circuit", "Technique", "Attack", "#keys", "status", "method",
+    "functional", "CPU",
+)
+
+#: Attacks a job (or a direct ``--artifacts attack`` campaign) may name.
+ATTACK_NAMES = ("kratt_ol", "kratt_og", "sat", "ddip", "appsat")
+
+#: Option keys copied into every expanded cell's params.  A cell is
+#: self-contained: two grids that expand to the same (circuit,
+#: technique, attack, width, budget...) produce identical cells — and
+#: therefore identical records — whether they came from a service job
+#: or a direct campaign run.
+_ATTACK_CELL_KEYS = (
+    "key_width", "budget", "scale", "seed", "synth_seed", "qbf_time_limit",
+)
+
+
+def _listed(options, plural, singular, default):
+    value = _opt(options, plural, None)
+    if value is None:
+        value = _opt(options, singular, default)
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return (value,)
+
+
+def attack_expand(options):
+    circuits = _listed(options, "circuits", "circuit", "corpus:c17")
+    techniques = _listed(options, "techniques", "technique", "sarlock")
+    attacks = _listed(options, "attacks", "attack", "sat")
+    for technique in techniques:
+        if technique not in TECHNIQUES:
+            raise ValueError(
+                f"unknown technique {technique!r}; "
+                f"known: {sorted(TECHNIQUES)}"
+            )
+    for attack in attacks:
+        if attack not in ATTACK_NAMES:
+            raise ValueError(
+                f"unknown attack {attack!r}; known: {list(ATTACK_NAMES)}"
+            )
+    base = {
+        k: (options or {}).get(k)
+        for k in _ATTACK_CELL_KEYS
+        if (options or {}).get(k) is not None
+    }
+    return [
+        {"circuit": c, "technique": t, "attack": a, **base}
+        for c in circuits for t in techniques for a in attacks
+    ]
+
+
+def attack_cell(cell, options):
+    circuit_name = cell["circuit"]
+    technique = cell["technique"]
+    attack = cell["attack"]
+
+    def param(key, default):
+        value = cell.get(key)
+        return _opt(options, key, default) if value is None else value
+
+    budget = float(param("budget", DEFAULT_OG_TIME_LIMIT))
+    qbf_time_limit = float(param("qbf_time_limit", 3.0))
+    key_width = param("key_width", None)
+    prep = prepare_locked(
+        circuit_name, technique,
+        scale=param("scale", None),
+        seed=int(param("seed", 0)),
+        synth_seed=int(param("synth_seed", 1)),
+        key_width=None if key_width is None else int(key_width),
+        store=_store_opt(options),
+    )
+    if attack == "kratt_ol":
+        result = kratt_ol_attack(
+            prep.netlist, prep.locked.key_inputs,
+            qbf_time_limit=qbf_time_limit, scope_kwargs=_SCOPE_FAST,
+            technique=technique, time_limit=budget,
+        )
+    elif attack == "kratt_og":
+        oracle = Oracle(prep.locked.original)
+        result = kratt_og_attack(
+            prep.netlist, prep.locked.key_inputs, oracle,
+            qbf_time_limit=qbf_time_limit, technique=technique,
+            time_limit=budget,
+        )
+    else:
+        runner = {"sat": sat_attack, "ddip": ddip_attack,
+                  "appsat": appsat_attack}[attack]
+        oracle = Oracle(prep.locked.original)
+        result = runner(
+            prep.netlist, prep.locked.key_inputs, oracle,
+            time_limit=budget, technique=technique,
+        )
+    score = score_key(prep.locked, result.key)
+    status = "OoT" if result.timed_out else (
+        "ok" if result.success else "fail"
+    )
+    # The CPU column is appended at aggregation from ``elapsed`` so the
+    # row itself — like the rest of the result — is run-invariant.
+    return {
+        "row": [circuit_name, technique, attack, prep.key_width, status,
+                result.details.get("method", "-"),
+                "yes" if score.functional else "no"],
+        "elapsed": result.elapsed,
+        "attack": result.as_dict(),
+        "circuit": prep.provenance(),
+    }
+
+
+def attack_aggregate(results, options):
+    rows = [
+        tuple(r["row"]) + (f"{r.get('elapsed', 0.0):.2f}",)
+        for r in results
+    ]
+    return ATTACK_HEADER, rows
+
+
+def attack_rows(**options):
+    """Single-attack grid, serially (see ``attack_expand`` for options)."""
+    return _serial_rows(attack_expand, attack_cell, attack_aggregate, options)

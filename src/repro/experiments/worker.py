@@ -29,6 +29,7 @@ Crash-window recovery, by construction:
 from __future__ import annotations
 
 import os
+import signal
 import socket
 import threading
 import time
@@ -100,13 +101,15 @@ class _LeaseHeartbeat(threading.Thread):
         self.join(timeout=5.0)
 
 
-def _publish(spec, record, cell_id, worker_id, attempt):
+def _publish(spec, record, cell_id, worker_id, attempt, job=None):
     """Finalize + atomically publish one record, with fault hooks."""
     record = _campaign.finalize_cell_record(
         record, cell_id, cell_timeout=spec.cell_timeout
     )
     record["worker"] = worker_id
     record["attempt"] = int(attempt)
+    if job is not None:
+        record["job"] = str(job)
     path = _record_path(spec, cell_id)
     faultinject.crash_point("before_publish", cell_id, attempt)
     _campaign._atomic_write_json(path, record)
@@ -134,6 +137,7 @@ def _quarantine_record(spec, task):
         cell_id=task.cell_id,
         attempt=task.attempts,
         failures=failures,
+        job=task.job,
     )
 
 
@@ -162,7 +166,14 @@ def publish_quarantine_records(spec, queue, cell_ids=None):
 
 
 def _process_task(spec, queue, config, task, worker_id):
-    """Run one claimed task to an ack/fail; returns the outcome label."""
+    """Run one claimed task to an ack/fail; returns the outcome label.
+
+    Both ``queue.ack`` sites are lease-guarded: a worker whose lease
+    expired under it (and whose cell was reclaimed) gets ``False`` back,
+    and its outcome is reported as ``"stale"`` — the published record is
+    byte-equivalent by determinism, but the completion belongs to the
+    live claimant, so a stale worker must not count it as its own.
+    """
     cell_id = task.cell_id
     attempt = task.attempts
     # Exported so fault hooks and attempt-aware cells (selftest) see the
@@ -173,7 +184,8 @@ def _process_task(spec, queue, config, task, worker_id):
         if existing is not None:
             # Crash-after-publish/before-ack recovery: the work is done
             # and persisted; just settle the ledger.
-            queue.ack(cell_id, worker_id, existing["status"])
+            if not queue.ack(cell_id, worker_id, existing["status"]):
+                return "stale"
             return "recovered"
         stalled = faultinject.stall_point(cell_id, attempt)
         heartbeat = None
@@ -183,7 +195,9 @@ def _process_task(spec, queue, config, task, worker_id):
             )
             heartbeat.start()
         try:
-            payload = (task.artifact, task.params, spec.options)
+            options = (task.options if task.options is not None
+                       else spec.options)
+            payload = (task.artifact, task.params, options)
             try:
                 if spec.cell_timeout is not None:
                     cell = _campaign.CampaignCell(
@@ -205,8 +219,10 @@ def _process_task(spec, queue, config, task, worker_id):
                     publish_quarantine_records(spec, queue, [cell_id])
                 return outcome
             if record["status"] in ("ok", "timeout"):
-                _publish(spec, record, cell_id, worker_id, attempt)
-                queue.ack(cell_id, worker_id, record["status"])
+                _publish(spec, record, cell_id, worker_id, attempt,
+                         job=task.job)
+                if not queue.ack(cell_id, worker_id, record["status"]):
+                    return "stale"
                 return record["status"]
             # status == "error": a failed attempt — let the queue decide
             # between backoff-retry and quarantine.
@@ -222,12 +238,18 @@ def _process_task(spec, queue, config, task, worker_id):
 
 
 def worker_loop(spec, worker_id=None, max_cells=None, config=None,
-                progress=None):
+                progress=None, exit_when_drained=True, should_stop=None):
     """Drain the campaign's queue until empty (or ``max_cells`` claims).
 
     Safe to run concurrently with any number of other workers, locally
     or from other hosts sharing the campaign directory.  Returns a
     small outcome histogram.
+
+    With ``exit_when_drained=False`` the worker outlives the drain and
+    keeps polling for new tasks — the shape a ``repro serve`` fleet
+    worker runs in, where jobs arrive at any time.  ``should_stop`` is
+    an optional callable checked between claims (e.g. an orphan check
+    against the supervising daemon's pid).
     """
     worker_id = worker_id or default_worker_id()
     config = config or spec.queue_config()
@@ -238,6 +260,9 @@ def worker_loop(spec, worker_id=None, max_cells=None, config=None,
     try:
         queue.ensure(cells, loader)
         while True:
+            if should_stop is not None and should_stop():
+                stats["stopped"] = True
+                break
             if max_cells is not None and stats["claimed"] >= max_cells:
                 break
             try:
@@ -248,7 +273,7 @@ def worker_loop(spec, worker_id=None, max_cells=None, config=None,
                 stats["corrupt"] = True
                 break
             if task is None:
-                if queue.drained():
+                if exit_when_drained and queue.drained():
                     break
                 time.sleep(config.poll)
                 continue
@@ -265,10 +290,42 @@ def worker_loop(spec, worker_id=None, max_cells=None, config=None,
     return stats
 
 
+def _install_sigterm_exit():
+    """Make SIGTERM raise SystemExit so ``finally`` blocks run.
+
+    A worker killed by its supervisor mid-cell must still tear down the
+    per-cell hard-timeout child it spawned; the default SIGTERM
+    disposition skips every ``finally``, leaking the child.
+    """
+    def _exit(signum, frame):
+        raise SystemExit(143)
+
+    try:
+        signal.signal(signal.SIGTERM, _exit)
+    except (ValueError, OSError):
+        pass  # non-main thread or exotic platform: keep the default
+
+
 def _worker_entry(spec_data, worker_id):
     """Module-level target for spawned worker processes (picklable)."""
+    _install_sigterm_exit()
     spec = _campaign.CampaignSpec.from_dict(spec_data)
     worker_loop(spec, worker_id=worker_id)
+
+
+def _service_worker_entry(spec_data, worker_id, parent_pid):
+    """Fleet worker for ``repro serve``: poll forever, retire if orphaned.
+
+    Service workers do not exit on drain (new jobs arrive at any time);
+    instead they watch the supervising daemon's pid and retire when it
+    is gone, so a SIGKILLed daemon cannot leave immortal workers behind.
+    """
+    _install_sigterm_exit()
+    spec = _campaign.CampaignSpec.from_dict(spec_data)
+    worker_loop(
+        spec, worker_id=worker_id, exit_when_drained=False,
+        should_stop=lambda: os.getppid() != parent_pid,
+    )
 
 
 def _open_queue(spec, cells, config):
@@ -341,11 +398,15 @@ def run_queue_backend(spec, cells, progress=None):
     def spawn():
         nonlocal spawned
         spawned += 1
+        # NOT daemonic: a daemonic process cannot spawn the per-cell
+        # hard-timeout child (run_one_cell_hard -> ctx.Process), which
+        # turned every cell_timeout queue cell into a poisoned
+        # "daemonic processes are not allowed to have children" failure.
+        # Orphan prevention is the finally-block _kill_process below.
         proc = ctx.Process(
             target=_worker_entry,
             args=(spec.to_dict(), f"local-{spawned}-{os.getpid()}"),
         )
-        proc.daemon = True
         proc.start()
         return proc
 

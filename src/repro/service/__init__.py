@@ -1,0 +1,49 @@
+"""Attack-as-a-service: the ``repro serve`` daemon and its client.
+
+The service turns the durable campaign machinery into a long-lived
+daemon: jobs (circuit + technique + attack + key width + budget) arrive
+over a local HTTP/JSON API, are persisted in a SQLite job store, expand
+into campaign cells enqueued on the :mod:`repro.experiments.queue` work
+queue, and are drained by one shared worker fleet multiplexed across
+every live job.  Per-job :class:`repro.budget.Deadline`s are enforced by
+cancelling an expired job's still-pending cells; finished cells keep
+their records.
+
+Layers:
+
+* :mod:`repro.service.jobstore` — the durable job ledger
+  (``jobs.sqlite``), states derived from cell records + queue state.
+* :mod:`repro.service.server` — :class:`AttackService`: HTTP server,
+  fleet supervisor, deadline enforcement, restart recovery.
+* :mod:`repro.service.client` — :class:`ServiceClient`: stdlib-urllib
+  helpers (``submit``/``job``/``jobs``/``cancel``/``wait``) used by the
+  ``repro submit`` / ``repro jobs`` CLI.
+"""
+
+from .jobstore import (  # noqa: F401
+    JOB_STATES,
+    TERMINAL_JOB_STATES,
+    Job,
+    JobStore,
+)
+from .server import AttackService, ServiceError, expand_job_cells  # noqa: F401
+from .client import (  # noqa: F401
+    ServiceClient,
+    ServiceRequestError,
+    ServiceTimeout,
+    service_url,
+)
+
+__all__ = [
+    "JOB_STATES",
+    "TERMINAL_JOB_STATES",
+    "Job",
+    "JobStore",
+    "AttackService",
+    "ServiceError",
+    "expand_job_cells",
+    "ServiceClient",
+    "ServiceRequestError",
+    "ServiceTimeout",
+    "service_url",
+]

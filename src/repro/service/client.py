@@ -1,0 +1,121 @@
+"""Stdlib HTTP client for the ``repro serve`` daemon.
+
+Used by ``repro submit`` / ``repro jobs`` and by the tests; speaks the
+JSON API of :mod:`repro.service.server` over :mod:`urllib` — no
+third-party dependencies, matching the daemon's stdlib HTTP server.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import urllib.error
+import urllib.request
+
+from ..budget import Deadline
+from .jobstore import TERMINAL_JOB_STATES
+
+__all__ = [
+    "ServiceClient",
+    "ServiceTimeout",
+    "ServiceRequestError",
+    "service_url",
+]
+
+
+class ServiceTimeout(TimeoutError):
+    """``wait`` ran out of budget before the job reached a target state."""
+
+
+class ServiceRequestError(RuntimeError):
+    """The daemon rejected a request (4xx/5xx); ``.status`` has the code."""
+
+    def __init__(self, status, message):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+def service_url(directory):
+    """Read the daemon's discovery beacon from a service directory."""
+    path = os.path.join(directory, "service.json")
+    try:
+        with open(path) as handle:
+            return json.load(handle)["url"]
+    except (OSError, ValueError, KeyError):
+        raise ServiceRequestError(
+            0, f"no running service beacon at {path}; is `repro serve` up?"
+        )
+
+
+class ServiceClient:
+    """Thin JSON-over-HTTP wrapper around one daemon's API."""
+
+    def __init__(self, url, timeout=30.0):
+        self.url = url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(self, method, path, payload=None):
+        data = None
+        headers = {}
+        if payload is not None:
+            data = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except (ValueError, OSError):
+                message = str(exc)
+            raise ServiceRequestError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServiceRequestError(
+                0, f"cannot reach service at {self.url}: {exc.reason}"
+            ) from None
+
+    # -- API verbs -----------------------------------------------------
+    def health(self):
+        return self._request("GET", "/health")
+
+    def submit(self, job):
+        """POST one job payload; returns the accepted job's status."""
+        return self._request("POST", "/jobs", payload=job)
+
+    def jobs(self):
+        return self._request("GET", "/jobs")["jobs"]
+
+    def job(self, job_id):
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id):
+        return self._request("POST", f"/jobs/{job_id}/cancel", payload={})
+
+    def wait(self, job_id, timeout=120.0, poll=0.2,
+             states=TERMINAL_JOB_STATES):
+        """Poll until the job reaches one of ``states``; returns status.
+
+        ``timeout`` is a plain-seconds budget (or any
+        :meth:`repro.budget.Deadline.of` coercible); raises
+        :class:`ServiceTimeout` when it runs dry first.
+        """
+        deadline = Deadline.of(timeout)
+        while True:
+            status = self.job(job_id)
+            if status["state"] in states:
+                return status
+            if deadline.expired():
+                raise ServiceTimeout(
+                    f"job {job_id} still {status['state']!r} after "
+                    f"{deadline.limit}s (waiting for {list(states)})"
+                )
+            remaining = deadline.remaining()
+            if remaining is None:
+                time.sleep(poll)
+            else:
+                time.sleep(min(poll, max(remaining, 0.01)))

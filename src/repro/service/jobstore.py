@@ -1,0 +1,279 @@
+"""Durable SQLite job ledger for the ``repro serve`` daemon.
+
+One row per submitted job.  The store follows the same derived-state
+discipline as the cell queue (:mod:`repro.experiments.queue`): a job's
+*state* is a pure function of its cells' published records and queue
+tasks, recomputed by the daemon's reconcile pass — the stored state is
+a cache of that derivation, never an independent source of truth.  The
+two exceptions are the terminal states a human (or the deadline
+enforcer) assigns directly: once a job is terminal it stays terminal,
+so a record trickling in from a straggler worker cannot resurrect a
+cancelled job.
+
+States::
+
+    submitted   accepted, no cell has produced a record yet
+    running     at least one cell finished or holds a lease
+    done        every cell has a terminal ok/timeout record
+    failed      at least one cell was quarantined (poisoned)
+    expired     the job's Deadline passed; pending cells were cancelled
+    cancelled   a client cancelled the job before its deadline
+
+``done``/``failed``/``expired``/``cancelled`` are terminal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sqlite3
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = [
+    "JOBS_FILENAME",
+    "JOB_STATES",
+    "TERMINAL_JOB_STATES",
+    "Job",
+    "JobStore",
+    "derive_job_state",
+]
+
+#: Name of the job database inside a service directory.
+JOBS_FILENAME = "jobs.sqlite"
+
+JOB_STATES = (
+    "submitted", "running", "done", "failed", "expired", "cancelled",
+)
+
+#: States a job never leaves.
+TERMINAL_JOB_STATES = ("done", "failed", "expired", "cancelled")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id       TEXT PRIMARY KEY,
+    artifact     TEXT NOT NULL,
+    options      TEXT NOT NULL,
+    state        TEXT NOT NULL DEFAULT 'submitted',
+    submitted_at REAL NOT NULL,
+    deadline     REAL,
+    cells        TEXT NOT NULL,
+    finished_at  REAL,
+    error        TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state);
+"""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One accepted job, as stored in the ledger."""
+
+    job_id: str
+    artifact: str
+    options: dict
+    state: str
+    submitted_at: float
+    deadline: float = None     # absolute wall-clock epoch, None = no limit
+    cells: tuple = ()          # job-prefixed cell ids, expansion order
+    finished_at: float = None
+    error: str = None
+
+    @property
+    def terminal(self):
+        return self.state in TERMINAL_JOB_STATES
+
+    def to_dict(self):
+        return {
+            "job_id": self.job_id,
+            "artifact": self.artifact,
+            "options": dict(self.options),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "deadline": self.deadline,
+            "cells": list(self.cells),
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+
+def _job_id(seq, artifact, options):
+    """``job-<seq>-<digest>``: ordered, human-scannable, collision-free.
+
+    ``seq`` alone guarantees uniqueness; the content digest makes two
+    ledgers comparable at a glance.
+    """
+    payload = json.dumps([artifact, options], sort_keys=True, default=list)
+    digest = hashlib.sha256(payload.encode()).hexdigest()[:8]
+    return f"job-{seq:06d}-{digest}"
+
+
+class JobStore:
+    """CRUD over one service's ``jobs.sqlite``.
+
+    Mirrors :class:`repro.experiments.queue.CellQueue`'s transaction
+    discipline (one ``BEGIN IMMEDIATE`` per public method) but opens a
+    fresh connection per call: the store is low-traffic and the HTTP
+    handlers hit it from arbitrary server threads.
+    """
+
+    def __init__(self, directory, clock=time.time):
+        self.directory = directory
+        self.path = os.path.join(directory, JOBS_FILENAME)
+        self._clock = clock
+
+    @contextmanager
+    def _txn(self):
+        os.makedirs(self.directory, exist_ok=True)
+        conn = sqlite3.connect(self.path, timeout=30.0, isolation_level=None)
+        try:
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA busy_timeout=30000")
+            conn.executescript(_SCHEMA)
+            conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield conn
+                conn.execute("COMMIT")
+            except BaseException:
+                try:
+                    conn.execute("ROLLBACK")
+                except sqlite3.Error:
+                    pass
+                raise
+        finally:
+            conn.close()
+
+    def _now(self, now=None):
+        return self._clock() if now is None else now
+
+    # -- writes --------------------------------------------------------
+    def submit(self, artifact, options, cells, deadline=None, now=None):
+        """Persist a new job; returns the stored :class:`Job`."""
+        now = self._now(now)
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT COALESCE(MAX(rowid), 0) + 1 FROM jobs"
+            ).fetchone()
+            job_id = _job_id(row[0], artifact, options)
+            conn.execute(
+                "INSERT INTO jobs (job_id, artifact, options, state, "
+                "submitted_at, deadline, cells) VALUES "
+                "(?, ?, ?, 'submitted', ?, ?, ?)",
+                (job_id, artifact,
+                 json.dumps(options, sort_keys=True, default=list),
+                 now, deadline, json.dumps(list(cells))),
+            )
+        return Job(
+            job_id=job_id, artifact=artifact, options=dict(options),
+            state="submitted", submitted_at=now, deadline=deadline,
+            cells=tuple(cells),
+        )
+
+    def set_state(self, job_id, state, error=None, now=None):
+        """Move a job to ``state``; terminal states are immutable.
+
+        Returns the updated :class:`Job`, or ``None`` for an unknown
+        id.  A no-op (already terminal, or already in ``state``) returns
+        the stored job unchanged — callers need not pre-check.
+        """
+        if state not in JOB_STATES:
+            raise ValueError(f"unknown job state {state!r}")
+        now = self._now(now)
+        with self._txn() as conn:
+            row = conn.execute(
+                "SELECT state FROM jobs WHERE job_id=?", (job_id,)
+            ).fetchone()
+            if row is None:
+                return None
+            current = row[0]
+            if current in TERMINAL_JOB_STATES or current == state:
+                return self._get(conn, job_id)
+            finished = now if state in TERMINAL_JOB_STATES else None
+            conn.execute(
+                "UPDATE jobs SET state=?, finished_at=?, error=? "
+                "WHERE job_id=?",
+                (state, finished, error, job_id),
+            )
+            return self._get(conn, job_id)
+
+    # -- reads ---------------------------------------------------------
+    def get(self, job_id):
+        with self._txn() as conn:
+            return self._get(conn, job_id)
+
+    def jobs(self, state=None):
+        query = ("SELECT job_id, artifact, options, state, submitted_at, "
+                 "deadline, cells, finished_at, error FROM jobs")
+        args = ()
+        if state is not None:
+            query += " WHERE state=?"
+            args = (state,)
+        with self._txn() as conn:
+            rows = conn.execute(query + " ORDER BY rowid", args).fetchall()
+        return [self._job(row) for row in rows]
+
+    def live_jobs(self):
+        """Jobs not yet terminal, submission order."""
+        return [job for job in self.jobs() if not job.terminal]
+
+    def counts(self):
+        with self._txn() as conn:
+            rows = conn.execute(
+                "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+            ).fetchall()
+        counts = {state: 0 for state in JOB_STATES}
+        counts.update(dict(rows))
+        return counts
+
+    @staticmethod
+    def _get(conn, job_id):
+        row = conn.execute(
+            "SELECT job_id, artifact, options, state, submitted_at, "
+            "deadline, cells, finished_at, error FROM jobs WHERE job_id=?",
+            (job_id,),
+        ).fetchone()
+        return None if row is None else JobStore._job(row)
+
+    @staticmethod
+    def _job(row):
+        (job_id, artifact, options, state, submitted_at, deadline, cells,
+         finished_at, error) = row
+        return Job(
+            job_id=job_id, artifact=artifact, options=json.loads(options),
+            state=state, submitted_at=submitted_at, deadline=deadline,
+            cells=tuple(json.loads(cells)), finished_at=finished_at,
+            error=error,
+        )
+
+
+def derive_job_state(job, cell_states):
+    """The job state implied by its cells — the reconcile function.
+
+    ``cell_states`` maps each of the job's cell ids to one of the
+    queue/record states: ``pending``/``leased`` (live), ``ok``/
+    ``timeout`` (finished), ``poisoned`` (failed), ``cancelled``, or
+    ``missing`` (no task, no record — treated as live work the daemon
+    still owes the queue).  Terminal precedence once no live cells
+    remain: any cancelled cell marks the job ``expired`` (cancellation
+    only happens via deadline/client action), else any poisoned cell
+    marks it ``failed``, else ``done``.
+    """
+    if job.terminal:
+        return job.state
+    if not job.cells:
+        # Mid-submit placeholder: the ledger row exists but the cell
+        # list has not landed yet (jobs never legitimately expand to
+        # zero cells; validation rejects those before submission).
+        return "submitted"
+    states = [cell_states.get(cell, "missing") for cell in job.cells]
+    live = [s for s in states if s in ("pending", "leased", "missing")]
+    if live:
+        started = any(s not in ("pending", "missing") for s in states)
+        return "running" if started else "submitted"
+    if any(s == "cancelled" for s in states):
+        return "expired"
+    if any(s == "poisoned" for s in states):
+        return "failed"
+    return "done"

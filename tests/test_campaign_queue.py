@@ -19,12 +19,14 @@ from repro.experiments.campaign import (
     CampaignError,
     CampaignSpec,
     campaign_status,
+    expand_cells,
     load_spec,
     retry_campaign,
     run_campaign,
 )
-from repro.experiments.queue import CellQueue, queue_path
-from repro.experiments.worker import worker_loop
+from repro.experiments.queue import CellQueue, QueueConfig, queue_path
+from repro.experiments.records import deterministic_view
+from repro.experiments.worker import _process_task, worker_loop
 
 #: Tuned-for-tests queue: sub-second leases so expiry-driven recovery is
 #: fast, near-zero backoff so retries do not dominate wall-clock.
@@ -172,7 +174,8 @@ class TestQuarantine:
             outcome.unwrap("selftest")
         # The queue holds the verdict...
         counts = _counts(spec)
-        assert counts == {"pending": 0, "leased": 0, "done": 3, "poisoned": 1}
+        assert counts == {"pending": 0, "leased": 0, "done": 3,
+                          "poisoned": 1, "cancelled": 0}
         # ...and the published record preserves all three tracebacks.
         record = _record(spec, "selftest--cell=2")
         assert record["status"] == "poisoned"
@@ -403,4 +406,215 @@ class TestCli:
         rc = cli_main(["campaign", "status", "qcli-status", "--root", root])
         assert rc == 0
         out = capsys.readouterr().out
-        assert "queue: done=2" in out
+        assert "done=2 leased=0 pending=0" in out
+
+
+class TestQueueConfigValidation:
+    def test_rejects_nonpositive_poll(self):
+        with pytest.raises(ValueError, match="poll"):
+            QueueConfig(poll=0)
+        with pytest.raises(ValueError, match="poll"):
+            QueueConfig(poll=-0.5)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            QueueConfig(backoff_jitter=-0.1)
+
+    def test_rejects_heartbeat_at_or_above_lease_ttl(self):
+        # Such a lease would always expire before its first extension,
+        # so every long cell would be silently double-claimed.
+        with pytest.raises(ValueError, match="heartbeat"):
+            QueueConfig(lease_ttl=5.0, heartbeat=5.0)
+        with pytest.raises(ValueError, match="heartbeat"):
+            QueueConfig(lease_ttl=5.0, heartbeat=6.0)
+        with pytest.raises(ValueError, match="heartbeat"):
+            QueueConfig(heartbeat=-1.0)
+
+    def test_accepts_auto_and_explicit_heartbeats(self):
+        assert QueueConfig().heartbeat_period == pytest.approx(20.0)
+        assert QueueConfig(heartbeat=0).heartbeat_period == pytest.approx(20.0)
+        assert QueueConfig(heartbeat=2.5).heartbeat == 2.5
+        assert QueueConfig(lease_ttl=1.0, heartbeat=0.3).heartbeat == 0.3
+
+
+def _seed_queue(spec):
+    """Save the spec and seed its queue exactly as ``worker_loop`` would."""
+    spec.save()
+    os.makedirs(spec.cells_dir, exist_ok=True)
+    queue = CellQueue(spec.directory, spec.queue_config())
+    queue.ensure(expand_cells(spec))
+    return queue
+
+
+class TestStaleAck:
+    def test_ack_is_lease_guarded(self, tmp_path):
+        spec = _qspec(tmp_path, "q-ackguard", cells=1, workers=1)
+        queue = _seed_queue(spec)
+        t0 = 1000.0
+        task = queue.claim("w1", now=t0)
+        assert task is not None
+        # w1's lease expires; w2 reclaims the cell (the first claim past
+        # the TTL recovers it into pending with a short retry backoff,
+        # the next one leases it).
+        ttl = spec.queue_config().lease_ttl
+        assert queue.claim("w2", now=t0 + ttl + 1) is None
+        reclaimed = queue.claim("w2", now=t0 + ttl + 2)
+        assert reclaimed is not None and reclaimed.cell_id == task.cell_id
+        assert queue.ack(task.cell_id, "w1", "ok") is False
+        assert queue.ack(task.cell_id, "w2", "ok") is True
+        queue.close()
+
+    def test_process_task_reports_stale_after_lease_reclaim(self, tmp_path):
+        spec = _qspec(tmp_path, "q-stale", cells=1, workers=1)
+        queue = _seed_queue(spec)
+        config = spec.queue_config()
+        t0 = 1000.0
+        stale_task = queue.claim("w1", now=t0)
+        assert queue.claim("w2", now=t0 + config.lease_ttl + 1) is None
+        live_task = queue.claim("w2", now=t0 + config.lease_ttl + 2)
+        assert live_task.cell_id == stale_task.cell_id
+        assert live_task.attempts == 2
+        # The live claimant runs the cell and publishes its record.
+        assert _process_task(spec, queue, config, live_task, "w2") == "ok"
+        # The stale worker wakes up, finds the published record, and its
+        # lease-guarded ack must come back False -> outcome "stale", so
+        # the completion is never double-counted.
+        outcome = _process_task(spec, queue, config, stale_task, "w1")
+        assert outcome == "stale"
+        counts = _counts(spec)
+        assert counts["done"] == 1 and counts["leased"] == 0
+        record = _record(spec, stale_task.cell_id)
+        assert record["worker"] == "w2"
+        queue.close()
+
+
+class TestCancelVerb:
+    def test_cancel_requires_a_selector(self, tmp_path):
+        spec = _qspec(tmp_path, "q-cancel-guard", cells=2, workers=1)
+        queue = _seed_queue(spec)
+        with pytest.raises(ValueError, match="cell_ids and/or job"):
+            queue.cancel()
+        queue.close()
+
+    def test_cancel_pending_cells_by_id(self, tmp_path):
+        spec = _qspec(tmp_path, "q-cancel-ids", cells=3, workers=1)
+        queue = _seed_queue(spec)
+        cancelled = queue.cancel(cell_ids=["selftest--cell=1"])
+        assert cancelled == ["selftest--cell=1"]
+        counts = _counts(spec)
+        assert counts["cancelled"] == 1 and counts["pending"] == 2
+        assert queue.get("selftest--cell=1").state == "cancelled"
+        # Cancelled cells are unclaimable; drained ignores them.
+        claimed = {queue.claim("w").cell_id for _ in range(2)}
+        assert "selftest--cell=1" not in claimed
+        queue.close()
+
+    def test_cancel_by_job_spares_other_jobs_and_leases(self, tmp_path):
+        spec = _qspec(tmp_path, "q-cancel-job", cells=2, workers=1)
+        spec.save()
+        os.makedirs(spec.cells_dir, exist_ok=True)
+        queue = CellQueue(spec.directory, spec.queue_config())
+        cells = expand_cells(spec)
+        for cell in cells:
+            prefixed = cell.__class__(
+                cell.artifact, cell.index,
+                f"job-a--{cell.cell_id}", cell.params,
+            )
+            queue.ensure([prefixed], job="job-a")
+        for cell in cells:
+            prefixed = cell.__class__(
+                cell.artifact, cell.index,
+                f"job-b--{cell.cell_id}", cell.params,
+            )
+            queue.ensure([prefixed], job="job-b")
+        # One of job-a's cells is mid-flight: it must keep running.
+        leased = queue.claim("w1")
+        assert leased.job == "job-a"
+        cancelled = queue.cancel(job="job-a")
+        assert cancelled == ["job-a--selftest--cell=1"]
+        counts = queue.counts(job="job-a")
+        assert counts["cancelled"] == 1 and counts["leased"] == 1
+        assert queue.counts(job="job-b")["pending"] == 2
+        assert not queue.drained(job="job-a")
+        assert queue.ack(leased.cell_id, "w1", "ok") is True
+        assert queue.drained(job="job-a")
+        assert not queue.drained(job="job-b")
+        queue.close()
+
+    def test_ensure_flips_cancelled_cell_with_record_to_done(self, tmp_path):
+        spec = _qspec(tmp_path, "q-cancel-flip", cells=2, workers=1)
+        queue = _seed_queue(spec)
+        queue.cancel(cell_ids=["selftest--cell=0"])
+        # The cell's record surfaces anyway (a worker finished it before
+        # noticing the cancellation): reconciliation trusts the record.
+        records = {
+            "selftest--cell=0": {"status": "ok"},
+        }
+        queue.ensure(expand_cells(spec), record_loader=records.get)
+        task = queue.get("selftest--cell=0")
+        assert task.state == "done" and task.result_status == "ok"
+        queue.close()
+
+
+class TestQueueCellTimeout:
+    """Regression for the daemonized-fleet bug (ISSUE 9 satellite).
+
+    ``backend="queue"`` + ``cell_timeout`` requires fleet workers to
+    spawn killable per-cell child processes; daemonic workers cannot
+    (``daemonic processes are not allowed to have children``), which
+    turned every cell into a retried infrastructure failure and
+    quarantined the whole campaign.
+    """
+
+    def test_slow_cell_killed_at_limit_records_timeout(self, tmp_path):
+        spec = _qspec(tmp_path, "q-timeout", cells=2, workers=2,
+                      sleep_s=300.0)
+        spec.cell_timeout = 1.0
+        outcome = run_campaign(spec)
+        assert outcome.complete, outcome.summary()
+        assert sorted(outcome.timeouts) == [
+            "selftest--cell=0", "selftest--cell=1",
+        ]
+        counts = _counts(spec)
+        assert counts["done"] == 2 and counts["poisoned"] == 0
+        for cell in range(2):
+            record = _record(spec, f"selftest--cell={cell}")
+            assert record["status"] == "timeout"
+            assert record["timed_out"] is True
+            assert record["cell_timeout"] == 1.0
+            # Killed on the first claim -- not retried into quarantine.
+            assert record["attempt"] == 1
+
+    def test_converges_bit_identically_with_pool_backend(self, tmp_path):
+        options = {"cells": 4, "sleep_s": 30.0, "slow_cells": [2]}
+        pool = CampaignSpec(
+            name="pool-timeout-ref",
+            artifacts=("selftest",),
+            options=dict(options),
+            workers=2,
+            cell_timeout=1.0,
+            results_root=str(tmp_path / "pool-root"),
+            mp_context="fork",
+        )
+        pool_outcome = run_campaign(pool)
+        assert pool_outcome.timeouts == ["selftest--cell=2"]
+        spec = _qspec(tmp_path, "q-vs-pool", workers=2, **options)
+        spec.cell_timeout = 1.0
+        outcome = run_campaign(spec)
+        assert outcome.complete, outcome.summary()
+        assert outcome.timeouts == ["selftest--cell=2"]
+        assert outcome.tables["selftest"] == pool_outcome.tables["selftest"]
+        for cell in range(4):
+            cell_id = f"selftest--cell={cell}"
+            assert deterministic_view(_record(spec, cell_id)) == \
+                deterministic_view(_record(pool, cell_id))
+
+    def test_worker_sigkills_still_recover_with_timeout(self, tmp_path,
+                                                        monkeypatch):
+        reference = _serial_reference(tmp_path, cells=3)
+        monkeypatch.setenv("REPRO_FAULT_KILL_RATE", "1.0")
+        monkeypatch.setenv("REPRO_FAULT_MAX_ATTEMPT", "1")
+        spec = _qspec(tmp_path, "q-kill-timeout", cells=3, workers=2)
+        spec.cell_timeout = 30.0
+        outcome = run_campaign(spec)
+        _assert_converged(spec, outcome, reference, cells=3)

@@ -101,6 +101,7 @@ class TestClaimLifecycle:
         assert queue.ensure(_cells())["inserted"] == 0
         assert queue.counts() == {
             "pending": 3, "leased": 0, "done": 0, "poisoned": 0,
+            "cancelled": 0,
         }
 
     def test_claim_follows_expansion_order_and_leases_exclusively(
@@ -322,6 +323,7 @@ class TestCorruption:
         reopened = _queue(tmp_path, clock)
         assert reopened.counts() == {
             "pending": 1, "leased": 0, "done": 1, "poisoned": 0,
+            "cancelled": 0,
         }
         assert json.loads(
             json.dumps(reopened.get(task.cell_id).params)

@@ -1,0 +1,405 @@
+"""The ``repro serve`` attack-as-a-service stack (ISSUE 9 tentpole).
+
+Covers every layer: the job ledger and its derived-state function, job
+request validation, the HTTP API end-to-end against a live daemon with
+a real worker fleet, per-job Deadline enforcement (finished cells keep
+their records, pending cells are cancelled), restart recovery from
+durable state only, bit-identity of a service job's records against a
+direct ``repro campaign run`` of the same grid, and the submit/jobs
+CLI.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.experiments.campaign import CampaignSpec, run_campaign
+from repro.experiments.queue import CellQueue
+from repro.experiments.records import deterministic_view
+from repro.service import (
+    AttackService,
+    Job,
+    JobStore,
+    ServiceClient,
+    ServiceError,
+    ServiceRequestError,
+    expand_job_cells,
+)
+from repro.service.jobstore import TERMINAL_JOB_STATES, derive_job_state
+from repro.service.server import validate_job_request
+
+#: Same tuned-for-tests queue as test_campaign_queue.
+QUEUE_FAST = {
+    "lease_ttl": 1.0,
+    "max_attempts": 3,
+    "backoff_base": 0.01,
+    "backoff_cap": 0.05,
+    "backoff_jitter": 0.0,
+    "poll": 0.02,
+}
+
+
+def _service(tmp_path, name, workers=1, **kwargs):
+    kwargs.setdefault("queue", dict(QUEUE_FAST))
+    kwargs.setdefault("mp_context", "fork")
+    return AttackService(str(tmp_path / name), workers=workers, **kwargs)
+
+
+def _job(state="running", cells=("a", "b"), deadline=None):
+    return Job(
+        job_id="job-000001-deadbeef", artifact="selftest", options={},
+        state=state, submitted_at=0.0, deadline=deadline,
+        cells=tuple(cells),
+    )
+
+
+class TestJobStore:
+    def test_submit_get_roundtrip(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        job = store.submit("selftest", {"cells": 2}, cells=["x", "y"],
+                           deadline=123.5, now=100.0)
+        assert job.job_id.startswith("job-000001-")
+        stored = store.get(job.job_id)
+        assert stored == job
+        assert stored.options == {"cells": 2}
+        assert stored.deadline == 123.5
+        assert stored.cells == ("x", "y")
+        assert stored.state == "submitted" and not stored.terminal
+        second = store.submit("selftest", {"cells": 2}, cells=[])
+        assert second.job_id.startswith("job-000002-")
+        assert [j.job_id for j in store.jobs()] == [
+            job.job_id, second.job_id,
+        ]
+
+    def test_set_state_and_terminal_immutability(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        job = store.submit("selftest", {}, cells=["x"])
+        running = store.set_state(job.job_id, "running")
+        assert running.state == "running" and running.finished_at is None
+        done = store.set_state(job.job_id, "done", now=50.0)
+        assert done.state == "done" and done.finished_at == 50.0
+        # Terminal states never change -- a straggler's record cannot
+        # resurrect a finished job.
+        stuck = store.set_state(job.job_id, "failed", error="nope")
+        assert stuck.state == "done" and stuck.error is None
+        assert store.set_state("job-999999-missing", "running") is None
+        with pytest.raises(ValueError, match="unknown job state"):
+            store.set_state(job.job_id, "bogus")
+
+    def test_live_jobs_and_counts(self, tmp_path):
+        store = JobStore(str(tmp_path))
+        a = store.submit("selftest", {}, cells=["x"])
+        b = store.submit("selftest", {}, cells=["y"])
+        store.set_state(a.job_id, "done")
+        assert [j.job_id for j in store.live_jobs()] == [b.job_id]
+        counts = store.counts()
+        assert counts["done"] == 1 and counts["submitted"] == 1
+
+
+class TestDeriveJobState:
+    def test_terminal_is_sticky(self):
+        for state in TERMINAL_JOB_STATES:
+            job = _job(state=state)
+            assert derive_job_state(job, {"a": "pending"}) == state
+
+    def test_empty_cell_list_is_mid_submit_placeholder(self):
+        assert derive_job_state(_job(cells=()), {}) == "submitted"
+
+    def test_nothing_started_yet(self):
+        job = _job()
+        assert derive_job_state(job, {"a": "pending", "b": "pending"}) \
+            == "submitted"
+        # A cell the queue has not even seen counts as owed work.
+        assert derive_job_state(job, {"a": "pending"}) == "submitted"
+
+    def test_any_progress_means_running(self):
+        job = _job()
+        assert derive_job_state(job, {"a": "leased", "b": "pending"}) \
+            == "running"
+        assert derive_job_state(job, {"a": "ok", "b": "pending"}) \
+            == "running"
+
+    def test_terminal_precedence(self):
+        job = _job()
+        assert derive_job_state(job, {"a": "ok", "b": "timeout"}) == "done"
+        assert derive_job_state(job, {"a": "ok", "b": "poisoned"}) \
+            == "failed"
+        # Cancellation only happens via deadline/client action, so it
+        # outranks everything else.
+        assert derive_job_state(
+            job, {"a": "poisoned", "b": "cancelled"}
+        ) == "expired"
+
+
+class TestValidateJobRequest:
+    def test_accepts_canonical_attack_job(self):
+        artifact, options, deadline = validate_job_request({
+            "circuit": "corpus:c17", "technique": "sarlock",
+            "attack": "sat", "key_width": 4, "budget": 20.0,
+            "deadline": 60,
+        })
+        assert artifact == "attack" and deadline == 60.0
+        assert options["circuit"] == "corpus:c17"
+        assert options["key_width"] == 4
+
+    def test_top_level_keys_are_option_sugar(self):
+        artifact, options, deadline = validate_job_request(
+            {"artifact": "selftest", "cells": 3}
+        )
+        assert artifact == "selftest" and options == {"cells": 3}
+        assert deadline is None
+
+    @pytest.mark.parametrize("payload,match", [
+        ("nope", "JSON object"),
+        ({"artifact": "bogus"}, "unknown artifact"),
+        ({"deadline": "soon"}, "deadline must be seconds"),
+        ({"deadline": 0}, "deadline must be positive"),
+        ({"options": []}, "options must be a JSON object"),
+        ({"circuit": "corpus:"}, "bad circuit"),
+        ({"key_width": 1}, "key_width must be >= 2"),
+        ({"key_width": "wide"}, "key_width must be an int"),
+        ({"budget": -5}, "budget must be positive"),
+        ({"technique": "bogus"}, "does not expand"),
+        ({"artifact": "selftest", "cells": 0}, "zero cells"),
+    ])
+    def test_rejections(self, payload, match):
+        with pytest.raises(ServiceError, match=match):
+            validate_job_request(payload)
+
+
+class TestExpandJobCells:
+    def test_cell_ids_are_job_prefixed(self):
+        job = _job()
+        cells = expand_job_cells(
+            Job(job_id="job-000007-aaaaaaaa", artifact="selftest",
+                options={"cells": 2}, state="submitted", submitted_at=0.0)
+        )
+        assert [c.cell_id for c in cells] == [
+            "job-000007-aaaaaaaa--selftest--cell=0",
+            "job-000007-aaaaaaaa--selftest--cell=1",
+        ]
+        assert cells[0].params == {"cell": 0}
+        assert job.cells  # _job helper sanity
+
+
+class TestServiceEndToEnd:
+    def test_selftest_job_lifecycle_over_http(self, tmp_path):
+        with _service(tmp_path, "svc-lifecycle", workers=2) as service:
+            client = ServiceClient(service.url)
+            health = client.health()
+            assert health["ok"] and health["jobs"]["submitted"] == 0
+            status = client.submit({"artifact": "selftest", "cells": 3})
+            job_id = status["job_id"]
+            assert status["state"] in ("submitted", "running")
+            assert len(status["cells"]) == 3
+            final = client.wait(job_id, timeout=60.0)
+            assert final["state"] == "done"
+            assert all(s == "ok" for s in final["cell_states"].values())
+            assert final["counts"] == {"ok": 3}
+            listed = client.jobs()
+            assert [j["job_id"] for j in listed] == [job_id]
+            # Records carry the job provenance and live where every
+            # campaign tool expects them.
+            for cell_id in final["cells"]:
+                path = os.path.join(service.spec.cells_dir,
+                                    f"{cell_id}.json")
+                with open(path) as handle:
+                    record = json.load(handle)
+                assert record["job"] == job_id
+                assert record["status"] == "ok"
+
+    def test_unknown_job_and_bad_submit_surface_http_errors(self, tmp_path):
+        with _service(tmp_path, "svc-errors", workers=0) as service:
+            client = ServiceClient(service.url)
+            with pytest.raises(ServiceRequestError) as exc:
+                client.job("job-000042-cafecafe")
+            assert exc.value.status == 404
+            with pytest.raises(ServiceRequestError) as exc:
+                client.submit({"artifact": "bogus"})
+            assert exc.value.status == 400
+            assert "unknown artifact" in str(exc.value)
+
+    def test_client_cancel_before_work_starts(self, tmp_path):
+        # workers=0: nothing drains, so every cell is still pending.
+        with _service(tmp_path, "svc-cancel", workers=0) as service:
+            client = ServiceClient(service.url)
+            status = client.submit({"artifact": "selftest", "cells": 2})
+            cancelled = client.cancel(status["job_id"])
+            assert cancelled["state"] == "cancelled"
+            assert all(s == "cancelled"
+                       for s in cancelled["cell_states"].values())
+
+    def test_deadline_cancels_pending_keeps_finished(self, tmp_path):
+        # One fast cell, two slow ones, one worker: the fast cell
+        # finishes, one slow cell is mid-flight when the deadline hits
+        # (it runs on to its cell_timeout record), the queued one is
+        # cancelled -- so the job expires with mixed cell fates.
+        # Margins: the fast cell must land before the deadline, and the
+        # deadline must land while the worker is still stuck on the
+        # first slow cell (i.e. before fast-finish + cell_timeout), so
+        # both windows get seconds of slack against a loaded machine.
+        with _service(tmp_path, "svc-deadline", workers=1,
+                      cell_timeout=8.0) as service:
+            client = ServiceClient(service.url)
+            status = client.submit({
+                "artifact": "selftest", "cells": 3,
+                "sleep_s": 30.0, "slow_cells": [1, 2],
+                "deadline": 3.0,
+            })
+            final = client.wait(status["job_id"], timeout=60.0)
+            assert final["state"] == "expired"
+            assert final["error"] == (
+                "deadline expired before all cells finished"
+            )
+            states = sorted(final["cell_states"].values())
+            assert "cancelled" in states
+            assert "ok" in states
+            # The finished cell's record survives the expiry.
+            ok_cells = [c for c, s in final["cell_states"].items()
+                        if s == "ok"]
+            for cell_id in ok_cells:
+                path = os.path.join(service.spec.cells_dir,
+                                    f"{cell_id}.json")
+                assert os.path.exists(path)
+
+
+class TestRestartRecovery:
+    def test_job_resumes_to_done_after_restart(self, tmp_path):
+        # First daemon accepts the job but has no fleet to drain it.
+        with _service(tmp_path, "svc-restart", workers=0) as service:
+            client = ServiceClient(service.url)
+            job_id = client.submit(
+                {"artifact": "selftest", "cells": 2}
+            )["job_id"]
+        # Second daemon on the same directory: recovery re-enqueues the
+        # live job's cells purely from jobs.sqlite + records, and the
+        # fresh fleet drains them.
+        with _service(tmp_path, "svc-restart", workers=2) as service:
+            client = ServiceClient(service.url)
+            final = client.wait(job_id, timeout=60.0)
+            assert final["state"] == "done"
+            assert final["counts"] == {"ok": 2}
+
+    def test_deadline_lapsed_while_down_expires_on_recovery(self, tmp_path):
+        with _service(tmp_path, "svc-lapsed", workers=0) as service:
+            client = ServiceClient(service.url)
+            job_id = client.submit({
+                "artifact": "selftest", "cells": 2, "deadline": 0.3,
+            })["job_id"]
+        time.sleep(0.4)
+        with _service(tmp_path, "svc-lapsed", workers=0) as service:
+            client = ServiceClient(service.url)
+            final = client.wait(job_id, timeout=30.0)
+            assert final["state"] == "expired"
+            # Nothing ever ran: every cell was cancelled, none recorded.
+            assert all(s == "cancelled"
+                       for s in final["cell_states"].values())
+
+
+class TestBitIdentity:
+    def test_service_attack_records_match_direct_campaign(self, tmp_path):
+        options = {
+            "circuit": "corpus:c17", "technique": "sarlock",
+            "attack": "sat", "key_width": 4, "budget": 20.0,
+        }
+        direct = CampaignSpec(
+            name="direct-attack",
+            artifacts=("attack",),
+            options=dict(options),
+            results_root=str(tmp_path / "direct-root"),
+        )
+        outcome = run_campaign(direct)
+        assert outcome.complete and not outcome.errors
+        base_id = ("attack--attack=sat--budget=20.0--circuit=corpus_c17"
+                   "--key_width=4--technique=sarlock")
+        with open(os.path.join(direct.cells_dir,
+                               f"{base_id}.json")) as handle:
+            direct_record = json.load(handle)
+        with _service(tmp_path, "svc-attack", workers=1) as service:
+            client = ServiceClient(service.url)
+            status = client.submit(dict(options))
+            assert status["cells"] == [f"{status['job_id']}--{base_id}"]
+            final = client.wait(status["job_id"], timeout=120.0)
+            assert final["state"] == "done"
+            path = os.path.join(service.spec.cells_dir,
+                                f"{final['cells'][0]}.json")
+            with open(path) as handle:
+                service_record = json.load(handle)
+        assert deterministic_view(service_record) == \
+            deterministic_view(direct_record)
+
+
+class TestCli:
+    def test_submit_wait_and_jobs_against_live_service(
+        self, tmp_path, capsys
+    ):
+        with _service(tmp_path, "svc-cli", workers=1) as service:
+            rc = cli_main([
+                "submit", "--url", service.url, "--artifact", "selftest",
+                "--option", "cells=2", "--wait", "--timeout", "60",
+            ])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "submitted job-000001-" in out
+            final = json.loads(out.split("\n", 1)[1])
+            assert final["state"] == "done"
+            # Discovery through the service.json beacon (--dir).
+            rc = cli_main(["jobs", "--dir", service.directory])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "done" in out and "selftest" in out
+
+    def test_submit_wait_exit_code_for_unsuccessful_job(
+        self, tmp_path, capsys
+    ):
+        # A poisoned cell fails the job; --wait maps that to exit 3.
+        with _service(tmp_path, "svc-cli-fail", workers=1) as service:
+            rc = cli_main([
+                "submit", "--url", service.url, "--artifact", "selftest",
+                "--option", "cells=1", "--option", "fail_cells=[0]",
+                "--wait", "--timeout", "60",
+            ])
+            out = capsys.readouterr().out
+            assert rc == 3
+            final = json.loads(out.split("\n", 1)[1])
+            assert final["state"] == "failed"
+            assert "quarantined" in final["error"]
+
+    def test_jobs_cancel_via_cli(self, tmp_path, capsys):
+        with _service(tmp_path, "svc-cli-cancel", workers=0) as service:
+            rc = cli_main([
+                "submit", "--url", service.url, "--artifact", "selftest",
+                "--option", "cells=2",
+            ])
+            out = capsys.readouterr().out
+            assert rc == 0
+            job_id = out.split()[1]
+            rc = cli_main(["jobs", job_id, "--url", service.url,
+                           "--cancel"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert json.loads(out)["state"] == "cancelled"
+
+    def test_submit_without_a_service_fails_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="service error"):
+            cli_main(["submit", "--dir", str(tmp_path), "--artifact",
+                      "selftest"])
+
+
+class TestQueueToolsOnServiceDir:
+    def test_campaign_status_reads_a_service_directory(self, tmp_path):
+        """The service dir is a campaign dir; existing tools just work."""
+        with _service(tmp_path, "svc-tools", workers=1) as service:
+            client = ServiceClient(service.url)
+            job_id = client.submit(
+                {"artifact": "selftest", "cells": 2}
+            )["job_id"]
+            client.wait(job_id, timeout=60.0)
+            queue = CellQueue(service.directory,
+                              service.spec.queue_config())
+            counts = queue.counts(job=job_id)
+            queue.close()
+            assert counts["done"] == 2 and counts["pending"] == 0
