@@ -24,6 +24,13 @@ trajectory to beat.  Three sections:
 * **autotune** — measures gate-evals/s across sweep chunk widths for
   each available backend (``repro.netlist.tune``) and persists this
   host's profile under ``benchmarks/results/tune/``.
+* **solver_native** — the native (C) propagation core versus the pure
+  Python propagation loop on the solver-section instances.  Both must
+  replay the identical trajectory (statuses, event counts, models are
+  gated FATAL); the headline is props/s through the propagation loop
+  itself with a 3x floor, plus the Amdahl-bounded end-to-end wall
+  speedup.  Skipped (and recorded as such) on hosts without a C
+  toolchain or with ``REPRO_NATIVE[_SOLVER]=0``.
 * **solver_reuse** — CEGAR-style repeated assumption solves on one
   incremental solver (warm watch lists / learned-clause arena) versus
   the seed-revision baseline driven identically.
@@ -61,6 +68,7 @@ import os
 import pathlib
 import random
 import sys
+import time
 
 _HERE = pathlib.Path(__file__).resolve().parent
 _SRC = _HERE.parent / "src"
@@ -521,6 +529,114 @@ def bench_solver(circuits, sat_vars, max_conflicts=20_000, repeat=3):
     return rows
 
 
+def _run_solver_instrumented(native, num_vars, clauses, max_conflicts, repeat):
+    """Best-of-``repeat`` run with the propagation loop timed separately.
+
+    Wraps ``solver._propagate`` with a perf_counter accumulator (one
+    wrapper call per decision/conflict — noise next to the hundreds of
+    trail pops each call performs) so the section can report props/s
+    through the propagation loop itself, the code the C core replaces.
+    Returns ``(row, model)`` for the best rep.
+    """
+    best = None
+    for _ in range(max(1, repeat)):
+        solver = Solver(native=native)
+        solver.ensure_vars(num_vars)
+        orig = solver._propagate
+        loop = [0.0]
+
+        def timed(orig=orig, loop=loop):
+            t0 = time.perf_counter()
+            result = orig()
+            loop[0] += time.perf_counter() - t0
+            return result
+
+        solver._propagate = timed
+        with Timer() as t:
+            ok = True
+            for clause in clauses:
+                if not solver.add_clause(clause):
+                    ok = False
+                    break
+            status = solver.solve(max_conflicts=max_conflicts) if ok else False
+        row = {
+            "backend": solver.backend,
+            "status": status,
+            "elapsed_s": t.elapsed,
+            "prop_loop_s": loop[0],
+            "conflicts": solver.conflicts,
+            "decisions": solver.decisions,
+            "propagations": solver.propagations,
+            "prop_loop_props_per_s": rate(solver.propagations, loop[0]),
+            "props_per_s": rate(solver.propagations, t.elapsed),
+        }
+        model = solver.model() if status is True else None
+        if best is None or t.elapsed < best[0]["elapsed_s"]:
+            best = (row, model)
+    return best
+
+
+def bench_solver_native(circuits, sat_vars, max_conflicts=20_000, repeat=3):
+    """Native (C) propagation core versus the pure-Python loop.
+
+    Both backends must replay the *identical* CDCL trajectory — same
+    statuses, event counts (propagations/conflicts/decisions), and
+    models — so any divergence is a correctness failure, not noise.
+    The headline number is props/s through the propagation loop itself
+    (time inside ``_propagate``), which is what moved to C; end-to-end
+    wall speedup is reported alongside but is Amdahl-bounded by the
+    conflict-analysis / branching work that stays in Python by design.
+    Returns ``(rows, skip_reason)``; skipped (and recorded as such) on
+    hosts without a C toolchain or with ``REPRO_NATIVE[_SOLVER]=0``.
+    """
+    from repro.sat.native import last_error, native_available
+
+    if not native_available():
+        return [], last_error() or "native solver core unavailable"
+
+    instances = [
+        ("random-3sat", sat_vars, _random_3sat(sat_vars, seed=1)),
+    ]
+    num_vars, clauses = _miter_instance(circuits[0])
+    instances.append((f"self-miter-{circuits[0]}", num_vars, clauses))
+
+    rows = []
+    for name, nv, cls in instances:
+        python, py_model = _run_solver_instrumented(
+            False, nv, cls, max_conflicts, repeat)
+        native, nat_model = _run_solver_instrumented(
+            True, nv, cls, max_conflicts, repeat)
+        if native["backend"] != "native":
+            return rows, last_error() or "native core failed to bind"
+        rows.append(
+            {
+                "instance": name,
+                "vars": nv,
+                "clauses": len(cls),
+                "status_agreement": python["status"] == native["status"],
+                "counts_identical": all(
+                    python[k] == native[k]
+                    for k in ("propagations", "conflicts", "decisions")
+                ),
+                "models_identical": py_model == nat_model,
+                "python": python,
+                "native": native,
+                "prop_loop_ratio": (
+                    native["prop_loop_props_per_s"]
+                    / python["prop_loop_props_per_s"]
+                    if python["prop_loop_props_per_s"]
+                    else float("inf")
+                ),
+                "wall_speedup": (
+                    python["elapsed_s"] / native["elapsed_s"]
+                    if native["elapsed_s"]
+                    else float("inf")
+                ),
+            }
+        )
+    return rows, None
+
+
 def bench_kratt_flow(circuits):
     rows = []
     host_name = circuits[0]
@@ -705,6 +821,20 @@ def main(argv=None):
             f"{row['legacy']['props_per_s']:.3g} "
             f"({row['prop_rate_ratio']:.2f}x)"
         )
+    solver_native, solver_native_skip = bench_solver_native(
+        circuits, sat_vars, repeat=args.repeat
+    )
+    for row in solver_native:
+        print(
+            f"  sat-native {row['instance']:>20}: prop-loop "
+            f"{row['native']['prop_loop_props_per_s']:.3g} vs python "
+            f"{row['python']['prop_loop_props_per_s']:.3g} props/s "
+            f"({row['prop_loop_ratio']:.2f}x loop, "
+            f"{row['wall_speedup']:.2f}x wall, "
+            f"identical={row['counts_identical'] and row['models_identical']})"
+        )
+    if solver_native_skip:
+        print(f"  sat-native section skipped: {solver_native_skip}")
     solver_reuse = bench_solver_reuse(circuits, repeat=args.repeat)
     print(
         f"  sat-reuse {solver_reuse['rounds']} probes: props/s "
@@ -761,6 +891,8 @@ def main(argv=None):
         "native_eval_skipped": native_skip,
         "autotune": autotune,
         "solver": solver,
+        "solver_native": solver_native,
+        "solver_native_skipped": solver_native_skip,
         "solver_reuse": solver_reuse,
         "sat_attack": sat_attack_rows,
         "corpus_attack": corpus_attack,
@@ -786,6 +918,21 @@ def main(argv=None):
                 r["prop_rate_ratio"] for r in solver
             ),
             "solver_status_agreement": all(r["status_agreement"] for r in solver),
+            "solver_native_min_prop_ratio": (
+                min(r["prop_loop_ratio"] for r in solver_native)
+                if solver_native
+                else None
+            ),
+            "solver_native_identical": (
+                all(
+                    r["status_agreement"]
+                    and r["counts_identical"]
+                    and r["models_identical"]
+                    for r in solver_native
+                )
+                if solver_native
+                else None
+            ),
             "solver_reuse_prop_rate_ratio": solver_reuse["prop_rate_ratio"],
             "solver_reuse_status_agreement": solver_reuse["status_agreement"],
             "sat_attack_min_speedup": min(
@@ -826,6 +973,15 @@ def main(argv=None):
         return 1
     if not payload["summary"]["solver_status_agreement"]:
         print("FATAL: overhauled solver disagrees with the baseline solver")
+        return 1
+    if payload["summary"]["solver_native_identical"] is False:
+        print("FATAL: native propagation core diverged from the Python "
+              "loop (status, event counts, or models differ)")
+        return 1
+    ratio = payload["summary"]["solver_native_min_prop_ratio"]
+    if ratio is not None and ratio < 3.0:
+        print(f"FATAL: native propagation loop only {ratio:.2f}x the "
+              "Python loop (floor: 3x props/s)")
         return 1
     if not payload["summary"]["solver_reuse_status_agreement"]:
         print("FATAL: incremental solver reuse changed solve outcomes")

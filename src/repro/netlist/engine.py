@@ -541,26 +541,9 @@ class CompiledCircuit:
             # unpacked per chunk.  The derived position lists are memoized
             # per sweep shape — repeated sweeps (SCOPE passes, best-of
             # benches) skip straight to the chunk loop.
-            memo_key = (
-                tuple(names),
-                tuple(sorted(fixed.items())) if fixed else None,
-                chunk_bits,
+            memo_key, swept_positions, fixed_fill = self._native_sweep_plan(
+                names, fixed, chunk_bits, mask
             )
-            memo = self._sweep_memo
-            cached = memo.get(memo_key)
-            if cached is None:
-                name_set = set(names)
-                swept_positions = [input_pos[name] for name in names]
-                fixed_fill = [
-                    (pos, mask if fixed.get(name) else 0)
-                    for name, pos in input_pos.items()
-                    if name not in name_set
-                ]
-                if len(memo) >= 16:
-                    memo.clear()
-                memo[memo_key] = (swept_positions, fixed_fill)
-            else:
-                swept_positions, fixed_fill = cached
             for chunk in range(1 << (n - chunk_bits)):
                 self._evals += 1
                 # Revalidated every chunk: a no-op token compare while
@@ -607,6 +590,34 @@ class CompiledCircuit:
                 tuple(values[pos] for pos in out_indices),
             )
 
+    def _native_sweep_plan(self, names, fixed, chunk_bits, mask):
+        """Memoized ``(memo_key, swept_positions, fixed_fill)`` for a
+        native sweep shape, shared by the chunked generator and the
+        merged fast path (the memo key doubles as the kernel's
+        ``sweep_begin`` token)."""
+        memo_key = (
+            tuple(names),
+            tuple(sorted(fixed.items())) if fixed else None,
+            chunk_bits,
+        )
+        memo = self._sweep_memo
+        cached = memo.get(memo_key)
+        if cached is None:
+            input_pos = self._input_pos
+            name_set = set(names)
+            swept_positions = [input_pos[name] for name in names]
+            fixed_fill = [
+                (pos, mask if fixed.get(name) else 0)
+                for name, pos in input_pos.items()
+                if name not in name_set
+            ]
+            if len(memo) >= 16:
+                memo.clear()
+            memo[memo_key] = (swept_positions, fixed_fill)
+        else:
+            swept_positions, fixed_fill = cached
+        return memo_key, swept_positions, fixed_fill
+
     def exhaustive_outputs(self, names=None, fixed=None, chunk_bits=None):
         """Full-width exhaustive output words, assembled from chunks.
 
@@ -614,10 +625,44 @@ class CompiledCircuit:
         output name; bit ``j`` of each word is the output under pattern
         ``j``.  Only for small ``len(names)`` — the result words are
         ``2**n`` bits wide by construction.
+
+        On the native backend the whole sweep — chunk loop, stimulus,
+        evaluation, *and* the output-word merge — runs in one C call
+        (:meth:`NativeKernel.sweep_merged`), so the language boundary is
+        crossed once per output instead of once per output per chunk.
+        Bit-identical to the chunked assembly by construction.
         """
         names = list(self.input_names if names is None else names)
+        n = len(names)
+        total_width = 1 << n
+        native = self._maybe_native()
+        if native is not None and n <= MAX_EXHAUSTIVE_INPUTS:
+            if all(name in self._input_pos for name in names):
+                if chunk_bits is None:
+                    from .tune import effective_chunk_bits
+
+                    chunk_bits = effective_chunk_bits("native")
+                chunk_bits = min(chunk_bits, n)
+                mask = (1 << (1 << chunk_bits)) - 1
+                fixed = fixed or {}
+                memo_key, swept_positions, fixed_fill = (
+                    self._native_sweep_plan(names, fixed, chunk_bits, mask)
+                )
+                n_chunks = 1 << (n - chunk_bits)
+                # Mirror the generator path's eval accounting: one for
+                # the sweep plus one per chunk.
+                self._evals += 1 + n_chunks
+                state = native.sweep_begin(
+                    swept_positions, fixed_fill, mask, token=memo_key
+                )
+                merged = native.sweep_merged(
+                    state, chunk_bits, n_chunks, self.output_indices
+                )
+                return (
+                    dict(zip(self.output_names, merged)),
+                    (1 << total_width) - 1,
+                )
         merged = [0] * len(self.output_names)
-        total_width = 1 << len(names)
         for offset, _width, _mask, out_words in self.sweep_exhaustive(
             names, fixed=fixed, chunk_bits=chunk_bits
         ):

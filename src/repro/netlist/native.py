@@ -29,6 +29,10 @@ Python bigints cross the boundary via ``int.to_bytes``/``from_bytes``
 their stimulus *inside* C (:meth:`NativeKernel.sweep_chunk` materializes
 the periodic input patterns and chunk high bits directly in the buffer,
 so a sweep converts nothing per chunk except the requested outputs).
+Full-truth-table sweeps go one step further
+(:meth:`NativeKernel.sweep_merged`): the whole chunk loop *and* the
+output-word merge run in C, so an output-heavy truth table crosses the
+boundary once per output instead of once per output per chunk.
 
 Inverting opcodes use plain ``~`` instead of the Python kernels'
 ``mask ^`` — bits above the simulation width carry garbage inside the
@@ -38,37 +42,34 @@ and the ``native_eval`` bench gate).
 
 Caching and publication
 -----------------------
-The engine library is content-addressed: the SHA-256 of its C source
-names ``<digest>.so`` under the cache directory (default
-``benchmarks/results/nativecache/``, override with
-``REPRO_NATIVE_CACHE_DIR``).  Builds follow the prep-store
-atomic-publish pattern — compile to a ``.tmp.<pid>`` path, then
-``os.replace`` — so concurrent workers never observe a torn library and
-the second process to race simply wins a cache hit.  A cache entry that
-fails to ``dlopen`` is unlinked and rebuilt once; every other failure
-(no compiler, compile error, unwritable cache) degrades to the Python
-kernels and is remembered per process.
+Shared with the solver backend via :mod:`repro.nativelib`: the engine
+library is content-addressed (SHA-256 of its C source names
+``<digest>.so`` under ``benchmarks/results/nativecache/``, override
+with ``REPRO_NATIVE_CACHE_DIR``), published atomically, and failures
+degrade to the Python kernels, latched **per component** — a broken
+solver build never disables this engine and vice versa.
 
 Knobs
 -----
 ``REPRO_NATIVE=0``
-    Disable the backend entirely (pure-Python behavior, bit-identical).
+    Disable every native backend (pure-Python behavior, bit-identical).
+``REPRO_NATIVE_SIM=0``
+    Disable only the simulation engine.
 ``REPRO_NATIVE_CC=<path>``
     Compiler override; pointing it at a missing binary is how the tests
     and the compiler-less CI job simulate a host without a toolchain.
 ``REPRO_NATIVE_CACHE_DIR=<dir>``
     Where the compiled engine is published.
 ``REPRO_NATIVE_CFLAGS``
-    Extra compiler flags (appended after the default ``-O2``).
+    Extra compiler flags (appended after the default ``-O3``).
 """
 
 from __future__ import annotations
 
 import ctypes
-import hashlib
-import os
-import shutil
-import subprocess
+
+from .. import nativelib
+from ..nativelib import DEFAULT_CACHE_DIR, NativeUnavailable, find_compiler
 
 __all__ = [
     "NativeKernel",
@@ -83,19 +84,17 @@ __all__ = [
     "engine_source",
     "DEFAULT_CACHE_DIR",
     "SOURCE_FORMAT_VERSION",
+    "COMPONENT",
 ]
+
+#: The per-component gate/latch name under :mod:`repro.nativelib`.
+COMPONENT = "sim"
 
 #: Bumped whenever the C engine changes meaning; part of the source
 #: (hence the content hash), so stale ``.so`` entries stop matching
-#: instead of being loaded.
-SOURCE_FORMAT_VERSION = 1
-
-#: Default landing zone for the compiled engine, next to the other caches.
-DEFAULT_CACHE_DIR = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(
-        os.path.abspath(__file__))))),
-    "benchmarks", "results", "nativecache",
-)
+#: instead of being loaded.  v2: ``repro_sweep_all`` (in-C chunk loop +
+#: output-word merge).
+SOURCE_FORMAT_VERSION = 2
 
 # The opcode values are mirrored from repro.netlist.engine (OP_AND2 = 0
 # ... OP_XNORN = 15); the C enum below must stay aligned with them.
@@ -201,11 +200,48 @@ void repro_sweep_run(const int32_t *op, const int32_t *out, const int32_t *aa,
   repro_sweep_fill(swept, n_swept, chunk_bits, chunk_idx, v, lanes);
   repro_run(op, out, aa, bb, n, nary, v, lanes);
 }
+
+/* Whole exhaustive sweep: run every chunk and merge the output words
+ * into an out-major accumulator, all inside C.  acc holds
+ * n_outs * total_words zeroed uint64 words where
+ * total_words = ceil(n_chunks * 2^chunk_bits / 64); output o's full
+ * truth table occupies acc[o*total_words ..] little-endian, exactly the
+ * `merged[i] |= word << offset` layout of the Python merge loop.
+ *
+ * With chunk_bits >= 6 a chunk is `lanes` whole words copied at word
+ * offset c*lanes.  Below that (lanes == 1, chunk width a power of two
+ * dividing 64) chunks never straddle a word; the chunk value is masked
+ * to its width first because inverting opcodes leave garbage above the
+ * simulation width inside the buffer. */
+void repro_sweep_all(const int32_t *op, const int32_t *out, const int32_t *aa,
+                     const int32_t *bb, long n, const int32_t *nary,
+                     const int32_t *swept, long n_swept, long chunk_bits,
+                     long n_chunks, uint64_t *v, long lanes,
+                     const int32_t *outs, long n_outs, uint64_t *acc) {
+  long c, o, l;
+  long width = 1L << chunk_bits;
+  long total_words = (n_chunks * width + 63) >> 6;
+  uint64_t mask = (width >= 64) ? ~(uint64_t)0
+                                : (((uint64_t)1 << width) - 1);
+  for (c = 0; c < n_chunks; ++c) {
+    repro_sweep_fill(swept, n_swept, chunk_bits, c, v, lanes);
+    repro_run(op, out, aa, bb, n, nary, v, lanes);
+    if (width >= 64) {
+      for (o = 0; o < n_outs; ++o) {
+        const uint64_t *w = v + (long)outs[o] * lanes;
+        uint64_t *dst = acc + o * total_words + c * lanes;
+        for (l = 0; l < lanes; ++l) dst[l] = w[l];
+      }
+    } else {
+      long bitpos = c * width;
+      for (o = 0; o < n_outs; ++o) {
+        uint64_t w = v[(long)outs[o] * lanes] & mask;
+        acc[o * total_words + (bitpos >> 6)] |= w << (bitpos & 63);
+      }
+    }
+  }
+}
 """.replace("%(version)d", str(SOURCE_FORMAT_VERSION))
-
-
-class NativeUnavailable(RuntimeError):
-    """Raised when the native engine cannot be built or loaded."""
 
 
 def engine_source():
@@ -214,170 +250,74 @@ def engine_source():
 
 
 def native_enabled():
-    """Whether the env permits the native backend (``REPRO_NATIVE`` != 0)."""
-    return os.environ.get("REPRO_NATIVE", "1") != "0"
-
-
-def find_compiler():
-    """Path of the C compiler to use, or ``None``.
-
-    ``REPRO_NATIVE_CC`` wins: an existing path is used as-is, a bare
-    command name (``REPRO_NATIVE_CC=clang``, the ``CC=`` idiom) is
-    resolved on ``PATH``, and a value that resolves to nothing disables
-    the backend — pointing it at a missing file is the supported way to
-    simulate a toolchain-less host.  Without the override, the first of
-    ``cc``/``gcc``/``clang`` on ``PATH`` wins.
-    """
-    override = os.environ.get("REPRO_NATIVE_CC")
-    if override:
-        if os.path.exists(override):
-            return override
-        return shutil.which(override)
-    for name in ("cc", "gcc", "clang"):
-        found = shutil.which(name)
-        if found:
-            return found
-    return None
+    """Whether the env permits this backend (``REPRO_NATIVE`` != 0 and
+    ``REPRO_NATIVE_SIM`` != 0)."""
+    return nativelib.native_enabled(COMPONENT)
 
 
 def native_available():
     """True when the backend is enabled and a compiler is present."""
-    return native_enabled() and find_compiler() is not None
+    return nativelib.native_available(COMPONENT)
 
 
 def compiler_info():
     """``{"cc": path-or-None, "available": bool}`` for bench env blocks."""
-    cc = find_compiler()
-    return {"cc": cc, "available": cc is not None and native_enabled()}
+    return nativelib.compiler_info(COMPONENT)
 
 
 def cache_dir():
     """Directory the compiled engine is published under."""
-    return os.environ.get("REPRO_NATIVE_CACHE_DIR") or DEFAULT_CACHE_DIR
+    return nativelib.cache_dir()
 
 
-def _compile_and_publish(source, digest, cc, directory):
-    """Compile ``source`` and atomically publish ``<digest>.so``.
-
-    Returns the published path.  Raises :class:`NativeUnavailable` with
-    the captured compiler diagnostics on failure; temporary files are
-    always cleaned up.
-    """
-    os.makedirs(directory, exist_ok=True)
-    so_path = os.path.join(directory, f"{digest}.so")
-    pid = os.getpid()
-    # The source tmp keeps its .c suffix (cc dispatches on it); the .so
-    # tmp carries the prep-store tmp convention for cleanup tooling.
-    c_tmp = os.path.join(directory, f"{digest}.tmp.{pid}.c")
-    so_tmp = os.path.join(directory, f"{digest}.so.tmp.{pid}")
-    try:
-        with open(c_tmp, "w") as handle:
-            handle.write(source)
-        # -O3, not -O2: gcc 12 only autovectorizes the lane loops at -O3,
-        # and vectorization is most of the point.
-        cmd = [cc, "-O3", "-fPIC", "-shared", "-o", so_tmp, c_tmp]
-        extra = os.environ.get("REPRO_NATIVE_CFLAGS")
-        if extra:
-            cmd[2:2] = extra.split()
-        proc = subprocess.run(cmd, capture_output=True, text=True, timeout=120)
-        if proc.returncode != 0:
-            raise NativeUnavailable(
-                f"{cc} failed ({proc.returncode}): {proc.stderr[:500]}"
-            )
-        os.replace(so_tmp, so_path)
-        return so_path
-    except NativeUnavailable:
-        raise
-    except (OSError, subprocess.SubprocessError) as exc:
-        raise NativeUnavailable(f"native build failed: {exc}") from exc
-    finally:
-        for tmp in (c_tmp, so_tmp):
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-
+# Kept as a module-level alias: the build/publish mechanics live in
+# repro.nativelib and are shared with the solver backend.
+_compile_and_publish = nativelib.compile_and_publish
 
 _P32 = ctypes.POINTER(ctypes.c_int32)
 _P64 = ctypes.POINTER(ctypes.c_uint64)
 
-#: (cache_dir, digest) -> loaded library handle; failures are remembered
-#: per process as NativeUnavailable instances.
-_LIB_CACHE = {}
+
+def _configure(lib):
+    lib.repro_run.argtypes = [
+        _P32, _P32, _P32, _P32, ctypes.c_long, _P32, _P64, ctypes.c_long,
+    ]
+    lib.repro_run.restype = None
+    lib.repro_sweep_fill.argtypes = [
+        _P32, ctypes.c_long, ctypes.c_long, ctypes.c_long, _P64,
+        ctypes.c_long,
+    ]
+    lib.repro_sweep_fill.restype = None
+    lib.repro_sweep_run.argtypes = [
+        _P32, _P32, _P32, _P32, ctypes.c_long, _P32,
+        _P32, ctypes.c_long, ctypes.c_long, ctypes.c_long, _P64,
+        ctypes.c_long,
+    ]
+    lib.repro_sweep_run.restype = None
+    lib.repro_sweep_all.argtypes = [
+        _P32, _P32, _P32, _P32, ctypes.c_long, _P32,
+        _P32, ctypes.c_long, ctypes.c_long, ctypes.c_long, _P64,
+        ctypes.c_long, _P32, ctypes.c_long, _P64,
+    ]
+    lib.repro_sweep_all.restype = None
 
 
 def _load_engine(directory=None, cc=None):
     """Load (building on demand) the shared engine library.
 
     Raises :class:`NativeUnavailable`; the outcome — handle or failure —
-    is cached per ``(directory, digest)`` so a missing compiler costs one
-    lookup per process, not one subprocess per circuit.
+    is cached per ``(component, directory, digest)`` so a missing
+    compiler costs one lookup per process, not one subprocess per
+    circuit, and a failure here never latches the solver backend.
     """
-    if not native_enabled():
-        raise NativeUnavailable("disabled via REPRO_NATIVE=0")
-    directory = directory or cache_dir()
-    source = engine_source()
-    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
-    key = (directory, digest)
-    cached = _LIB_CACHE.get(key)
-    if cached is not None:
-        if isinstance(cached, NativeUnavailable):
-            raise cached
-        return cached
-
-    def load(path):
-        lib = ctypes.CDLL(path)
-        lib.repro_run.argtypes = [
-            _P32, _P32, _P32, _P32, ctypes.c_long, _P32, _P64, ctypes.c_long,
-        ]
-        lib.repro_run.restype = None
-        lib.repro_sweep_fill.argtypes = [
-            _P32, ctypes.c_long, ctypes.c_long, ctypes.c_long, _P64,
-            ctypes.c_long,
-        ]
-        lib.repro_sweep_fill.restype = None
-        lib.repro_sweep_run.argtypes = [
-            _P32, _P32, _P32, _P32, ctypes.c_long, _P32,
-            _P32, ctypes.c_long, ctypes.c_long, ctypes.c_long, _P64,
-            ctypes.c_long,
-        ]
-        lib.repro_sweep_run.restype = None
-        return lib
-
-    so_path = os.path.join(directory, f"{digest}.so")
-    try:
-        cc = cc or find_compiler()
-        if cc is None:
-            raise NativeUnavailable("no C compiler found (cc/gcc/clang)")
-        if os.path.exists(so_path):
-            try:
-                lib = load(so_path)
-            except OSError:
-                # Corrupt/truncated cache entry (killed writer on an
-                # exotic filesystem): drop it and rebuild once.
-                try:
-                    os.unlink(so_path)
-                except OSError:
-                    pass
-                _compile_and_publish(source, digest, cc, directory)
-                lib = load(so_path)
-        else:
-            _compile_and_publish(source, digest, cc, directory)
-            lib = load(so_path)
-    except NativeUnavailable as exc:
-        _LIB_CACHE[key] = exc
-        raise
-    except OSError as exc:
-        failure = NativeUnavailable(f"engine load failed: {exc}")
-        _LIB_CACHE[key] = failure
-        raise failure from exc
-    _LIB_CACHE[key] = lib
-    return lib
+    return nativelib.load_library(
+        COMPONENT, engine_source(), _configure, directory=directory, cc=cc
+    )
 
 
 def clear_engine_cache():
     """Forget per-process load outcomes (tests toggling env knobs)."""
-    _LIB_CACHE.clear()
+    nativelib.clear_cache(COMPONENT)
 
 
 class NativeKernel:
@@ -520,6 +460,37 @@ class NativeKernel:
             for pos in positions
         ]
 
+    def sweep_merged(self, state, chunk_bits, n_chunks, positions):
+        """Whole exhaustive sweep with the output merge done in C.
+
+        Runs all ``n_chunks`` chunks (stimulus + evaluation) and merges
+        each output's words into its full-width truth table inside the
+        engine, so the boundary is crossed once per *output* rather than
+        once per output per chunk — the win scales with output count on
+        output-heavy truth tables.  Returns full-width bigints aligned
+        with ``positions``; bit ``j`` of each is that output under
+        pattern ``j``, exactly the ``merged[i] |= word << offset``
+        assembly of the chunked Python path.
+        """
+        swept, n_swept, lanes, _nbytes, _buf, view = state
+        total_words = ((n_chunks << chunk_bits) + 63) >> 6
+        n_outs = len(positions)
+        acc_words = max(1, n_outs * total_words)
+        acc_buf = bytearray(acc_words * 8)
+        acc = (ctypes.c_uint64 * acc_words).from_buffer(acc_buf)
+        i32 = ctypes.c_int32
+        outs = (i32 * max(1, n_outs))(*(positions or [0]))
+        self._lib.repro_sweep_all(
+            self._ops, self._outs, self._aas, self._bbs, self._n,
+            self._nary, swept, n_swept, chunk_bits, n_chunks, view, lanes,
+            outs, n_outs, acc,
+        )
+        stride = total_words * 8
+        return [
+            int.from_bytes(acc_buf[o * stride : (o + 1) * stride], "little")
+            for o in range(n_outs)
+        ]
+
     def __repr__(self):
         return (
             f"NativeKernel(signals={self.num_signals}, "
@@ -527,13 +498,9 @@ class NativeKernel:
         )
 
 
-#: Last build failure (str) per process, for diagnostics/benches.
-_LAST_ERROR = None
-
-
 def last_error():
     """The most recent build failure message, or ``None``."""
-    return _LAST_ERROR
+    return nativelib.last_error(COMPONENT)
 
 
 def build_kernel(compiled, directory=None, cc=None):
@@ -542,7 +509,6 @@ def build_kernel(compiled, directory=None, cc=None):
     Returns ``None`` (and records :func:`last_error`) instead of raising:
     every failure mode must degrade to the Python kernels.
     """
-    global _LAST_ERROR
     try:
         return NativeKernel(
             compiled.instructions,
@@ -551,5 +517,5 @@ def build_kernel(compiled, directory=None, cc=None):
             cc=cc,
         )
     except NativeUnavailable as exc:
-        _LAST_ERROR = str(exc)
+        nativelib.record_error(COMPONENT, str(exc))
         return None

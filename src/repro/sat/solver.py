@@ -16,6 +16,18 @@ clause checked before the clause is touched at all — most watch visits
 end there), and propagation compacts each watch list in place with a
 read/write cursor instead of rebuilding it.
 
+When the native propagation core (:mod:`repro.sat.native`) is available
+it takes over the propagation-rate-bound state behind the same encoded
+literal API: clauses live in a contiguous C arena (named by arena
+offsets instead of list objects), the watch lists / trail / assignment
+arrays are flat C buffers, and ``_propagate``, clause attach, and trail
+backjump cross into C.  Decide / analyze / 1-UIP / restart logic stays
+in this file, reading the C state through zero-copy ``ctypes`` views.
+The two modes are bit-identical by construction — same propagation
+counts, same learnt clauses, same models — and ``Solver(native=False)``
+(or ``REPRO_NATIVE=0`` / ``REPRO_NATIVE_SOLVER=0``, or any compile
+failure) runs today's pure-Python loops untouched.
+
 Allocation discipline: the hot loops reuse memory instead of
 reallocating it.  Watch entries are two-slot lists that *migrate*
 between watch lists (a watched-literal move rewrites the entry in place
@@ -55,6 +67,36 @@ _UNASSIGNED = -1
 #: propagation-heavy instances.
 _PROPS_PER_TIME_CHECK = 4096
 _NEVER_CHECK = float("inf")
+
+#: Stride for native propagation with no deadline: one C call drains the
+#: whole queue (2**62 pops is unreachable).
+_UNBOUNDED_PROPS = 1 << 62
+
+
+def _identity(clause):
+    """Python-mode clause handle -> literals: the handle IS the list."""
+    return clause
+
+
+class _TrailView:
+    """Read-only ``list``-shaped window over the native core's trail.
+
+    The search/analysis code indexes and measures the trail
+    (``trail[i]``, ``len(trail)``); in native mode those hit the C
+    buffer through this shim so the surrounding logic is shared
+    verbatim with the Python mode.
+    """
+
+    __slots__ = ("_core",)
+
+    def __init__(self, core):
+        self._core = core
+
+    def __len__(self):
+        return self._core.trail_len()
+
+    def __getitem__(self, index):
+        return self._core.trail[index]
 
 
 def luby(i):
@@ -99,9 +141,9 @@ class Solver:
     ``enc & 1``, and unassigned iff the slot is ``-1``.
     """
 
-    def __init__(self):
+    def __init__(self, native=None):
         self._num_vars = 0
-        self._clauses = []
+        self._clauses = []  # native mode: arena refs instead of lists
         self._learnts = []
         self._watches = [[], []]  # indexed by encoded literal; slots 0/1 unused
         self._assign = [_UNASSIGNED]  # by var; -1 / 0 / 1
@@ -113,6 +155,23 @@ class Solver:
         self._trail_lim = []
         self._qhead = 0
         self._order_heap = []
+        # ``native=None`` auto-engages the C propagation core when it is
+        # enabled and buildable; False pins the pure-Python loops (the
+        # REPRO_NATIVE=0 behavior); True requests it but still degrades
+        # silently — check :attr:`backend` to see what engaged.
+        self._native = None
+        if native is None or native:
+            from . import native as sat_native
+
+            core = sat_native.build_core()
+            if core is not None:
+                self._native = core
+                self._assign = core.assign
+                self._level = core.level
+                self._phase = core.phase
+                self._reason = None  # C-owned; use core.reason_of
+                self._watches = None  # C-owned
+                self._trail = _TrailView(core)
         self._var_inc = 1.0
         self._var_decay = 1.0 / 0.95
         self._cla_inc = 1.0
@@ -134,6 +193,9 @@ class Solver:
     # ------------------------------------------------------------------
     def new_var(self):
         """Allocate and return a fresh variable (positive int)."""
+        if self._native is not None:
+            self.ensure_vars(self._num_vars + 1)
+            return self._num_vars
         self._num_vars += 1
         self._assign.append(_UNASSIGNED)
         self._level.append(0)
@@ -147,12 +209,32 @@ class Solver:
 
     def ensure_vars(self, n):
         """Grow the variable table so variables 1..n exist."""
-        while self._num_vars < n:
-            self.new_var()
+        core = self._native
+        if core is None:
+            while self._num_vars < n:
+                self.new_var()
+            return
+        if n <= self._num_vars:
+            return
+        grow = n - self._num_vars
+        if core.ensure_vars(n):
+            # The C buffers moved: rebind the zero-copy views (the old
+            # ones dangle over freed memory).
+            self._assign = core.assign
+            self._level = core.level
+            self._phase = core.phase
+        self._activity.extend([0.0] * grow)
+        self._seen.extend(b"\x00" * grow)
+        self._num_vars = n
 
     @property
     def num_vars(self):
         return self._num_vars
+
+    @property
+    def backend(self):
+        """Where propagation runs right now: ``native`` or ``python``."""
+        return "native" if self._native is not None else "python"
 
     @staticmethod
     def _encode(lit):
@@ -213,8 +295,11 @@ class Solver:
                 self._ok = False
                 return False
             return True
-        self._clauses.append(clause)
-        self._attach(clause)
+        if self._native is not None:
+            self._clauses.append(self._native.add_clause(clause))
+        else:
+            self._clauses.append(clause)
+            self._attach(clause)
         return True
 
     def add_cnf(self, cnf):
@@ -239,6 +324,11 @@ class Solver:
     # trail management
     # ------------------------------------------------------------------
     def _enqueue(self, enc, reason):
+        """Assign an encoded literal.  ``reason`` is a clause handle —
+        a literal list in Python mode, an arena ref in native mode — or
+        ``None`` for decisions/assumptions/units."""
+        if self._native is not None:
+            return self._native.enqueue(enc, reason, len(self._trail_lim))
         val = self._enc_value(enc)
         if val != _UNASSIGNED:
             return val == 1
@@ -256,6 +346,18 @@ class Solver:
         if len(self._trail_lim) <= level:
             return
         bound = self._trail_lim[level]
+        core = self._native
+        if core is not None:
+            # C pops the trail (phase save, clear assign/reason, queue
+            # reset) and reports the vars in reverse trail order — the
+            # exact heap push sequence of the Python loop below.
+            n_popped = core.backtrack(bound)
+            activity = self._activity
+            heap = self._order_heap
+            for var in core.popped[:n_popped]:
+                heappush(heap, (-activity[var], var))
+            del self._trail_lim[level:]
+            return
         for i in range(len(self._trail) - 1, bound - 1, -1):
             var = self._trail[i] >> 1
             self._phase[var] = self._assign[var]
@@ -269,7 +371,35 @@ class Solver:
     # ------------------------------------------------------------------
     # propagation
     # ------------------------------------------------------------------
+    def _propagate_native(self):
+        """Drive the C propagation loop, preserving Deadline semantics.
+
+        With an active deadline the C core pauses every
+        ``_PROPS_PER_TIME_CHECK`` trail pops (returning ``-2`` with work
+        remaining) and the clock is probed here — the same cadence as
+        the Python loop's stride counter, so limits bind even at zero
+        conflicts.  Returns the conflict clause ref (an int, possibly
+        0) or ``None``, mirroring the Python ``_propagate``.
+        """
+        core = self._native
+        cur_level = len(self._trail_lim)
+        deadline = self._deadline
+        budget = (
+            _PROPS_PER_TIME_CHECK if deadline is not None else _UNBOUNDED_PROPS
+        )
+        while True:
+            code, props = core.propagate(cur_level, budget)
+            self.propagations += props
+            if code == -2:
+                if deadline.expired():
+                    self._budget_hit = True
+                    return None
+                continue
+            return None if code == -1 else code
+
     def _propagate(self):
+        if self._native is not None:
+            return self._propagate_native()
         trail = self._trail
         assign = self._assign
         watches = self._watches
@@ -363,9 +493,10 @@ class Solver:
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
 
-    def _bump_clause(self, clause):
+    def _bump_clause(self, handle):
         clause_act = self._clause_act
-        clause_act[id(clause)] = clause_act.get(id(clause), 0.0) + self._cla_inc
+        key = handle if self._native is not None else id(handle)
+        clause_act[key] = clause_act.get(key, 0.0) + self._cla_inc
 
     def _analyze(self, conflict):
         learnt = [0]
@@ -374,12 +505,27 @@ class Solver:
         # O(num_vars) a fresh list per conflict would.
         seen = self._seen
         level = self._level
+        # Clause handles are literal lists (Python mode) or arena refs
+        # (native mode); these accessors are the only difference.  The
+        # native branch binds the raw ctypes trail view (stable for the
+        # duration: no ensure_vars mid-analyze) rather than paying a
+        # _TrailView method call per trail probe.
+        core = self._native
+        if core is not None:
+            lits_of = core.clause_lits
+            reason_of = core.reason_of
+            trail = core.trail
+            index = core.trail_len() - 1
+        else:
+            lits_of = _identity
+            reason_of = self._reason.__getitem__
+            trail = self._trail
+            index = len(trail) - 1
         counter = 0
         p = -1  # sentinel: first round analyzes the whole conflict clause
-        index = len(self._trail) - 1
         current_level = len(self._trail_lim)
 
-        clause = conflict
+        clause = lits_of(conflict)
         while True:
             skip = p ^ 1
             for q in clause:
@@ -394,16 +540,16 @@ class Solver:
                         counter += 1
                     else:
                         learnt.append(q)
-            while not seen[self._trail[index] >> 1]:
+            while not seen[trail[index] >> 1]:
                 index -= 1
-            p = self._trail[index] ^ 1
+            p = trail[index] ^ 1
             var = p >> 1
             seen[var] = 0
             index -= 1
             counter -= 1
             if counter == 0:
                 break
-            clause = self._reason[var]
+            clause = lits_of(reason_of(var))
         learnt[0] = p
 
         # Cheap clause minimization: drop literals implied by the rest.
@@ -414,10 +560,10 @@ class Solver:
             seen[learnt[0] >> 1] = 1
             kept = [learnt[0]]
             for q in learnt[1:]:
-                reason = self._reason[q >> 1]
+                reason = reason_of(q >> 1)
                 if reason is not None and all(
                     seen[r >> 1] or level[r >> 1] == 0
-                    for r in reason
+                    for r in lits_of(reason)
                     if r != q ^ 1
                 ):
                     continue
@@ -445,9 +591,12 @@ class Solver:
     # search
     # ------------------------------------------------------------------
     def _pick_branch_var(self):
-        while self._order_heap:
-            neg_act, var = heappop(self._order_heap)
-            if self._assign[var] == _UNASSIGNED and -neg_act == self._activity[var]:
+        heap = self._order_heap
+        assign = self._assign
+        activity = self._activity
+        while heap:
+            neg_act, var = heappop(heap)
+            if assign[var] == _UNASSIGNED and -neg_act == activity[var]:
                 return var
         for var in range(1, self._num_vars + 1):
             if self._assign[var] == _UNASSIGNED:
@@ -464,8 +613,61 @@ class Solver:
         )
         heap.sort()
 
+    def _record_learnt(self, learnt):
+        """Store a learnt clause (len >= 2); returns its handle — the
+        list itself in Python mode, the arena ref in native mode."""
+        if self._native is not None:
+            ref = self._native.add_clause(learnt)
+            self._learnts.append(ref)
+            return ref
+        self._learnts.append(learnt)
+        self._attach(learnt)
+        return learnt
+
+    def _reduce_db_native(self):
+        """Native-mode DB reduction: the same stable sort / keep policy
+        over arena refs, then one C compaction pass that rebuilds the
+        arena and filters every watch list order-preserved."""
+        core = self._native
+        clause_act = self._clause_act
+        locked = set()
+        reason = core.reason
+        for var in range(1, self._num_vars + 1):
+            r = reason[var]
+            if r >= 0:
+                locked.add(r)
+        self._learnts.sort(key=lambda ref: clause_act.get(ref, 0.0))
+        keep_from = len(self._learnts) // 2
+        removed = []
+        kept = []
+        for i, ref in enumerate(self._learnts):
+            if i < keep_from and ref not in locked and core.clause_size(ref) > 2:
+                removed.append(ref)
+            else:
+                kept.append(ref)
+        self._learnts = kept
+        if removed:
+            for ref in removed:
+                clause_act.pop(ref, None)
+            # One GC pass remaps every surviving ref (problem clauses
+            # first, then kept learnts, preserving order), the reason
+            # array, the watch lists, and the activity keys.
+            new_refs = core.compact(self._clauses + kept)
+            n_problem = len(self._clauses)
+            self._clauses = new_refs[:n_problem]
+            new_learnts = new_refs[n_problem:]
+            self._clause_act = {
+                new: clause_act[old]
+                for old, new in zip(kept, new_learnts)
+                if old in clause_act
+            }
+            self._learnts = new_learnts
+
     def _reduce_db(self):
         """Throw away half of the least active learned clauses."""
+        if self._native is not None:
+            self._reduce_db_native()
+            return
         clause_act = self._clause_act
         locked = set()
         for var in range(1, self._num_vars + 1):
@@ -574,10 +776,9 @@ class Solver:
                         status = False
                         break
                 else:
-                    self._learnts.append(learnt)
-                    self._attach(learnt)
-                    self._bump_clause(learnt)
-                    self._enqueue(learnt[0], learnt)
+                    handle = self._record_learnt(learnt)
+                    self._bump_clause(handle)
+                    self._enqueue(learnt[0], handle)
                 self._var_inc *= self._var_decay
                 self._cla_inc *= self._cla_decay
 

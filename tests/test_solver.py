@@ -225,7 +225,9 @@ class TestAllocationReuse:
             assert not any(solver._seen), "stale conflict-analysis marks"
 
     def test_seen_array_tracks_new_vars(self):
-        solver = Solver()
+        # Pinned to the Python backend: native mode sizes _assign to the
+        # C capacity, not num_vars + 1.
+        solver = Solver(native=False)
         solver.ensure_vars(17)
         assert len(solver._seen) == len(solver._assign) == 18
 
@@ -233,7 +235,7 @@ class TestAllocationReuse:
         """reduce_db must drop activity entries for removed clauses (a
         recycled id() must never inherit a ghost's activity)."""
         n_vars, clauses = self._random_instance(0, n_vars=60, n_clauses=255)
-        solver = Solver()
+        solver = Solver(native=False)  # _clause_act keys are id(clause)
         solver.ensure_vars(n_vars)
         for clause in clauses:
             solver.add_clause(clause)
@@ -243,7 +245,7 @@ class TestAllocationReuse:
 
     def test_watch_entries_are_reused_objects(self):
         """Propagation migrates entry objects instead of reallocating."""
-        solver = Solver()
+        solver = Solver(native=False)  # inspects Python watch lists
         solver.ensure_vars(4)
         solver.add_clause([1, 2, 3])
         before = {

@@ -6,6 +6,12 @@ agree on SAT/UNSAT, and every claimed model must actually satisfy the
 formula.  Instances straddle the random-3-SAT phase transition
 (clause/variable ratio ~4.27) where both branches of the search get
 exercised.
+
+The native (C) propagation core is held to a stronger standard at the
+bottom of this module: full trajectory bit-identity against the Python
+loop (propagations, conflicts, decisions, learnt counts, models) on
+seeded 3-CNFs, warm assumption-probe sequences, attack-generated miter
+CNFs, and across fork/spawn child processes.
 """
 
 import importlib.util
@@ -189,3 +195,140 @@ def test_warm_reuse_agrees_with_legacy_solver_on_attack_cnfs(seed):
         for clause in clauses_so_far:
             cold.add_clause(clause)
         assert cold.solve(list(assumptions)) == warm_status
+
+
+# ----------------------------------------------------------------------
+# Native (C) propagation core vs the Python loop: *bit-identity*, not
+# mere status agreement — the C loop mirrors the Python visit order, so
+# the full trajectory (propagations, conflicts, decisions, learnt
+# clauses, models) must match event for event (ISSUE-10).
+# ----------------------------------------------------------------------
+
+import multiprocessing  # noqa: E402
+
+from repro.sat import native as sat_native  # noqa: E402
+
+needs_native_core = pytest.mark.skipif(
+    not sat_native.native_available(),
+    reason=sat_native.last_error() or "native solver core unavailable",
+)
+
+
+def _trace(native, clauses, probes=((), )):
+    """Full observable trajectory of one warm solver across ``probes``."""
+    solver = Solver(native=native)
+    trace = []
+    ok = True
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            ok = False
+            break
+    for assumptions in probes if ok else ():
+        status = solver.solve(assumptions, max_conflicts=500_000)
+        model = sorted(solver.model().items()) if status is True else None
+        trace.append(
+            (status, solver.propagations, solver.conflicts,
+             solver.decisions, len(solver._learnts), model)
+        )
+    return ok, trace
+
+
+@needs_native_core
+class TestNativeVsPython:
+    @pytest.mark.parametrize("seed", range(30))
+    def test_trajectories_identical_on_random_3cnf(self, seed):
+        cnf = _instance(seed)
+        clauses = [list(c) for c in cnf.clauses]
+        assert _trace(False, clauses) == _trace(True, clauses), (
+            f"seed {seed}: native trajectory diverged from Python"
+        )
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_trajectories_identical_under_assumption_probes(self, seed):
+        """One warm solver, a dozen assumption probes: phase saving,
+        clause activities, and the learnt arena all persist across
+        probes, so any drift compounds — and must not exist."""
+        rng = random.Random(("native-probes", seed).__str__())
+        cnf = random_3cnf(40, 170, seed=seed)
+        clauses = [list(c) for c in cnf.clauses]
+        probes = [
+            tuple(
+                v if rng.random() < 0.5 else -v
+                for v in rng.sample(range(1, 41), 2)
+            )
+            for _ in range(12)
+        ]
+        assert _trace(False, clauses, probes) == _trace(True, clauses, probes)
+
+    @pytest.mark.parametrize("technique", ["sarlock", "antisat"])
+    @pytest.mark.parametrize("seed", range(2))
+    def test_trajectories_identical_on_attack_miters(self, technique, seed):
+        """Replay the exact clause/probe sequence the incremental DIP
+        loop generated against both backends."""
+        events = _attack_event_log(technique, seed)
+        python = Solver(native=False)
+        native = Solver(native=True)
+        assert native.backend == "native", sat_native.last_error()
+        for event in events:
+            if event[0] == "clause":
+                clause = list(event[1])
+                assert python.add_clause(clause) == native.add_clause(clause)
+                continue
+            _, assumptions, _ = event
+            assert python.solve(assumptions) == native.solve(assumptions)
+            assert (
+                python.propagations, python.conflicts, python.decisions
+            ) == (
+                native.propagations, native.conflicts, native.decisions
+            )
+            if python.last_result.status is True:
+                assert python.model() == native.model()
+
+
+def _child_trace(args):
+    seed, start_method = args
+    import os
+    import sys
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from factories import random_3cnf as make_cnf
+
+    from repro.sat import native as nat
+    from repro.sat.solver import Solver as S
+
+    if not nat.native_available():
+        return ("unavailable", nat.last_error())
+    cnf = make_cnf(30, 128, seed=seed)
+    solver = S(native=True)
+    if solver.backend != "native":
+        return ("fallback", nat.last_error())
+    for clause in cnf.clauses:
+        solver.add_clause(list(clause))
+    status = solver.solve(max_conflicts=500_000)
+    model = sorted(solver.model().items()) if status is True else None
+    return ("ok", (status, solver.propagations, solver.conflicts,
+                   solver.decisions, model))
+
+
+@needs_native_core
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+def test_native_trace_identical_across_process_start_methods(start_method):
+    """A fork child inherits the parent's dlopened core and a spawn
+    child re-loads it from the content-addressed cache; both must
+    reproduce the parent's pure-Python trajectory exactly."""
+    seed = 11
+    cnf = random_3cnf(30, 128, seed=seed)
+    reference = Solver(native=False)
+    for clause in cnf.clauses:
+        reference.add_clause(list(clause))
+    status = reference.solve(max_conflicts=500_000)
+    expected = (
+        status, reference.propagations, reference.conflicts,
+        reference.decisions,
+        sorted(reference.model().items()) if status is True else None,
+    )
+    ctx = multiprocessing.get_context(start_method)
+    with ctx.Pool(1) as pool:
+        kind, payload = pool.map(_child_trace, [(seed, start_method)])[0]
+    assert kind == "ok", payload
+    assert payload == expected
